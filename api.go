@@ -1,0 +1,274 @@
+package cstuner
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+
+	"repro/internal/baselines"
+	"repro/internal/baselines/artemis"
+	"repro/internal/baselines/cstuner"
+	"repro/internal/baselines/garvey"
+	"repro/internal/baselines/opentuner"
+	"repro/internal/core"
+	"repro/internal/cpu"
+	"repro/internal/dataset"
+	"repro/internal/gemm"
+	"repro/internal/gpu"
+	"repro/internal/grouping"
+	"repro/internal/harness"
+	"repro/internal/kernel"
+	"repro/internal/sim"
+	"repro/internal/space"
+	"repro/internal/stencil"
+	"repro/internal/temporal"
+)
+
+// Stencil describes one stencil computation; see internal/stencil for the
+// full type. The suite constructors below return the paper's Table III set.
+type Stencil = stencil.Stencil
+
+// Setting is one concrete assignment of the 19 optimization parameters.
+type Setting = space.Setting
+
+// Arch is a modelled GPU architecture (A100 or V100).
+type Arch = gpu.Arch
+
+// Config is the csTuner pipeline configuration; DefaultConfig mirrors the
+// paper's evaluation setup.
+type Config = core.Config
+
+// Report is the outcome of one csTuner run: the winning setting, its kernel
+// time, and pipeline diagnostics (groups, models, overhead breakdown).
+type Report = core.Report
+
+// Tap is one stencil access: read input array Array at an offset from the
+// centre point, scaled by Coeff.
+type Tap = stencil.Tap
+
+// StarTaps returns an axis-aligned star access pattern of the given order on
+// input array a — the building block for user-defined stencils.
+func StarTaps(order, a int) []Tap { return stencil.StarTaps(order, a) }
+
+// BoxTaps returns the dense (2·order+1)³ box pattern on input array a.
+func BoxTaps(order, a int) []Tap { return stencil.BoxTaps(order, a) }
+
+// CenterTap returns a single centre-point read of input array a with
+// coefficient c.
+func CenterTap(a int, c float64) []Tap { return stencil.CenterTap(a, c) }
+
+// Suite returns the eight Table III benchmark stencils.
+func Suite() []*Stencil { return stencil.Suite() }
+
+// StencilByName returns a Table III stencil by name, or nil.
+func StencilByName(name string) *Stencil { return stencil.ByName(name) }
+
+// A100 and V100 return the two modelled GPU architectures.
+func A100() *Arch { return gpu.A100() }
+
+// V100 returns the Volta model used in the paper's portability study.
+func V100() *Arch { return gpu.V100() }
+
+// DefaultConfig returns the paper's csTuner configuration (128-sample
+// dataset, 10% sampling ratio, 2×16 GA, crossover 0.8, mutation 0.005).
+func DefaultConfig() Config { return core.DefaultConfig() }
+
+// Session is a tuning session for one stencil on one simulated GPU. It
+// exposes measurement, csTuner, the comparators, and kernel inspection.
+type Session struct {
+	stencil *Stencil
+	space   *space.Space
+	sim     *sim.Simulator
+}
+
+// NewSession validates the stencil and builds its parameter space and
+// simulator.
+func NewSession(st *Stencil, arch *Arch) (*Session, error) {
+	if st == nil {
+		return nil, fmt.Errorf("cstuner: nil stencil")
+	}
+	if arch == nil {
+		return nil, fmt.Errorf("cstuner: nil architecture")
+	}
+	sp, err := space.New(st)
+	if err != nil {
+		return nil, err
+	}
+	return &Session{stencil: st, space: sp, sim: sim.New(sp, arch)}, nil
+}
+
+// NewSessionFor is the one-line constructor: stencil and arch by name.
+func NewSessionFor(stencilName, archName string) (*Session, error) {
+	st := stencil.ByName(stencilName)
+	if st == nil {
+		return nil, fmt.Errorf("cstuner: unknown stencil %q", stencilName)
+	}
+	arch, err := gpu.ByName(archName)
+	if err != nil {
+		return nil, err
+	}
+	return NewSession(st, arch)
+}
+
+// Stencil returns the session's stencil.
+func (s *Session) Stencil() *Stencil { return s.stencil }
+
+// DefaultSetting returns the canonical untuned setting.
+func (s *Session) DefaultSetting() Setting { return s.space.Default() }
+
+// Validate checks a setting against the explicit Table I constraints.
+func (s *Session) Validate(set Setting) error { return s.space.Validate(set) }
+
+// Measure runs one setting on the simulated GPU and returns milliseconds.
+func (s *Session) Measure(set Setting) (float64, error) { return s.sim.Measure(set) }
+
+// Metrics runs one setting and returns its Nsight-style metric report.
+func (s *Session) Metrics(set Setting) (float64, map[string]float64, error) {
+	res, err := s.sim.Run(set)
+	if err != nil {
+		return 0, nil, err
+	}
+	return res.TimeMS, res.Metrics, nil
+}
+
+// EmitCUDA generates the CUDA source a GPU toolchain would compile for the
+// setting.
+func (s *Session) EmitCUDA(set Setting) (string, error) {
+	k, err := kernel.Build(s.space, set, s.sim.Arch)
+	if err != nil {
+		return "", err
+	}
+	return k.EmitCUDA(), nil
+}
+
+// Tune runs the full csTuner pipeline with the given configuration and no
+// time budget.
+func (s *Session) Tune(cfg Config) (*Report, error) {
+	return core.Tune(s.sim, nil, cfg, nil)
+}
+
+// TuneWithBudget runs csTuner under a virtual auto-tuning budget (seconds of
+// compile+run time, as metered by the harness cost model). The offline
+// stencil dataset is collected unmetered, matching the paper's accounting
+// (metric collection is a one-time offline step, Sec. V-F).
+func (s *Session) TuneWithBudget(cfg Config, budgetS float64) (*Report, error) {
+	ds, err := dataset.Collect(s.sim, rand.New(rand.NewSource(cfg.Seed)), cfg.DatasetSize, 0)
+	if err != nil {
+		return nil, err
+	}
+	meter := harness.NewMeter(s.sim, harness.DefaultCostModel(), budgetS)
+	return core.Tune(meter, ds, cfg, meter.Exhausted)
+}
+
+// Comparator names accepted by RunComparator.
+const (
+	MethodCsTuner   = "cstuner"
+	MethodOpenTuner = "opentuner"
+	MethodGarvey    = "garvey"
+	MethodArtemis   = "artemis"
+)
+
+// RunComparator races one auto-tuning method against a virtual budget and
+// returns its best setting and kernel time. Garvey and csTuner collect their
+// offline dataset internally (seeded deterministically).
+func (s *Session) RunComparator(method string, budgetS float64, seed int64) (Setting, float64, error) {
+	var t baselines.Tuner
+	switch method {
+	case MethodCsTuner:
+		t = cstuner.New()
+	case MethodOpenTuner:
+		t = opentuner.New()
+	case MethodGarvey:
+		t = garvey.New()
+	case MethodArtemis:
+		t = artemis.New()
+	default:
+		return nil, 0, fmt.Errorf("cstuner: unknown method %q", method)
+	}
+	fx, err := harness.NewFixture(s.stencil, s.sim.Arch, 128, seed)
+	if err != nil {
+		return nil, 0, err
+	}
+	meter := harness.NewMeter(fx.Sim, harness.DefaultCostModel(), budgetS)
+	_, _, tuneErr := t.Tune(meter, fx.DS, seed, meter.Exhausted)
+	set, ms, ok := meter.Best()
+	if !ok {
+		if tuneErr != nil {
+			return nil, 0, tuneErr
+		}
+		return nil, 0, fmt.Errorf("cstuner: %s measured nothing within the budget", method)
+	}
+	return set, ms, nil
+}
+
+// GEMM is a tiled matrix-multiplication workload over a custom optimization
+// space — the paper's future-work extension to tensor programs (Sec. VII).
+// csTuner tunes it through the same Objective surface as stencils.
+type GEMM = gemm.Workload
+
+// NewGEMM builds a GEMM workload C[M×N] += A[M×K]·B[K×N] on the given
+// simulated architecture.
+func NewGEMM(m, n, k int, arch *Arch) (*GEMM, error) { return gemm.New(m, n, k, arch) }
+
+// TuneGEMM runs the unmodified csTuner pipeline on a GEMM workload: the
+// offline dataset is collected from the workload's model, then grouping,
+// metric combination, PMNF sampling and the per-group genetic search run
+// exactly as they do for stencils.
+func TuneGEMM(w *GEMM, cfg Config) (*Report, error) {
+	ds, err := dataset.Collect(w, rand.New(rand.NewSource(cfg.Seed)), cfg.DatasetSize, 0)
+	if err != nil {
+		return nil, err
+	}
+	cfg.EmitKernels = false // no CUDA emitter for the GEMM family
+	return core.Tune(w, ds, cfg, nil)
+}
+
+// CPUWorkload is an OpenMP-style stencil kernel on a multicore CPU — the
+// paper's future-work hardware extension (Sec. VII). The default CPU model
+// is the paper's own host, a Xeon E5-2680 v4 (Table II).
+type CPUWorkload = cpu.Workload
+
+// XeonE52680v4 returns the modelled host CPU from the paper's Table II.
+func XeonE52680v4() *cpu.Arch { return cpu.XeonE52680v4() }
+
+// NewCPUStencil builds a CPU tuning workload for the stencil.
+func NewCPUStencil(st *Stencil, arch *cpu.Arch) (*CPUWorkload, error) { return cpu.New(st, arch) }
+
+// TuneCPU runs the unmodified csTuner pipeline on a CPU stencil workload.
+func TuneCPU(w *CPUWorkload, cfg Config) (*Report, error) {
+	ds, err := dataset.Collect(w, rand.New(rand.NewSource(cfg.Seed)), cfg.DatasetSize, 0)
+	if err != nil {
+		return nil, err
+	}
+	cfg.EmitKernels = false // the CPU family has no CUDA emitter
+	return core.Tune(w, ds, cfg, nil)
+}
+
+// TemporalWorkload is a time-iterated stencil with AN5D-style temporal
+// blocking in its optimization space — the paper's "more optimization
+// techniques" future-work claim (Sec. VII).
+type TemporalWorkload = temporal.Workload
+
+// NewTemporal builds a temporal-blocking workload: the stencil is advanced
+// totalSteps time steps, and the tuner chooses how many of them each kernel
+// launch fuses.
+func NewTemporal(st *Stencil, arch *Arch, totalSteps int) (*TemporalWorkload, error) {
+	return temporal.New(st, arch, totalSteps)
+}
+
+// TuneTemporal runs the unmodified csTuner pipeline on a temporal-blocking
+// workload.
+func TuneTemporal(w *TemporalWorkload, cfg Config) (*Report, error) {
+	ds, err := dataset.Collect(w, rand.New(rand.NewSource(cfg.Seed)), cfg.DatasetSize, 0)
+	if err != nil {
+		return nil, err
+	}
+	cfg.EmitKernels = false
+	return core.Tune(w, ds, cfg, nil)
+}
+
+// FormatGroups renders a grouping (from Report.Groups) with parameter names.
+func FormatGroups(groups [][]int) string { return grouping.Format(groups) }
+
+// WriteTableIII writes the benchmark-suite table to w.
+func WriteTableIII(w io.Writer) { harness.Table3(w) }

@@ -1,0 +1,76 @@
+package cstuner
+
+import "testing"
+
+func TestGEMMFacade(t *testing.T) {
+	w, err := NewGEMM(2048, 2048, 2048, A100())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultConfig()
+	cfg.DatasetSize = 64
+	cfg.Sampling.PoolSize = 256
+	cfg.GA.MaxGenerations = 6
+	rep, err := TuneGEMM(w, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	def, err := w.Measure(w.Space().Default())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.BestMS >= def {
+		t.Fatalf("GEMM facade: tuned %.2f not better than default %.2f", rep.BestMS, def)
+	}
+	if _, err := NewGEMM(0, 1, 1, A100()); err == nil {
+		t.Fatal("invalid GEMM should error")
+	}
+}
+
+func TestCPUFacade(t *testing.T) {
+	w, err := NewCPUStencil(StencilByName("j3d27pt"), XeonE52680v4())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultConfig()
+	cfg.DatasetSize = 64
+	cfg.Sampling.PoolSize = 256
+	cfg.GA.MaxGenerations = 6
+	rep, err := TuneCPU(w, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Space().Validate(rep.Best); err != nil {
+		t.Fatalf("CPU facade returned invalid setting: %v", err)
+	}
+	if rep.BestMS <= 0 {
+		t.Fatal("no CPU result")
+	}
+	if _, err := NewCPUStencil(nil, XeonE52680v4()); err == nil {
+		t.Fatal("nil stencil should error")
+	}
+}
+
+func TestCustomStencilThroughFacade(t *testing.T) {
+	// User-defined stencil built from the exported tap constructors.
+	taps := append(StarTaps(1, 0), CenterTap(1, 0.5)...)
+	st := &Stencil{
+		Name: "facade-test", NX: 64, NY: 64, NZ: 64,
+		Order: 1, FLOPs: 12, Inputs: 2, Outputs: 1,
+		Taps: taps, Coeffs: 3,
+	}
+	if err := st.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	s, err := NewSession(st, V100())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ms, err := s.Measure(s.DefaultSetting())
+	if err != nil || ms <= 0 {
+		t.Fatalf("custom stencil not measurable: %v %v", ms, err)
+	}
+	if len(BoxTaps(1, 0)) != 27 {
+		t.Fatal("BoxTaps facade broken")
+	}
+}

@@ -1,0 +1,147 @@
+// Command experiments regenerates every table and figure of the paper's
+// evaluation section against the simulated GPUs.
+//
+// Usage:
+//
+//	experiments -table 1          # Table I (parameter space)
+//	experiments -table 3          # Table III (stencil suite)
+//	experiments -fig 2            # Figs. 2–4 share one motivation sample
+//	experiments -fig 8 -quick     # iso-iteration comparison, smoke scale
+//	experiments -fig 9            # iso-time comparison
+//	experiments -fig 10           # V100 portability, normalized to Garvey
+//	experiments -fig 11           # sampling-ratio sensitivity
+//	experiments -fig 12           # pre-processing overhead breakdown
+//	experiments -all -quick       # everything at smoke scale
+//
+// Full-protocol runs (-repeats 10, all eight stencils, 20k motivation
+// samples) reproduce the paper's setup but take correspondingly long on one
+// core; -quick keeps every experiment's structure at reduced scale.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/gpu"
+	"repro/internal/harness"
+	"repro/internal/stencil"
+)
+
+func main() {
+	var (
+		fig       = flag.Int("fig", 0, "figure to regenerate (2, 3, 4, 8, 9, 10, 11, 12)")
+		table     = flag.Int("table", 0, "table to regenerate (1 or 3)")
+		all       = flag.Bool("all", false, "regenerate everything")
+		ablation  = flag.Bool("ablation", false, "run the design-choice ablation study")
+		quick     = flag.Bool("quick", false, "smoke scale: fewer stencils, repeats and samples")
+		arch      = flag.String("arch", "a100", "GPU architecture: a100 or v100")
+		stencils  = flag.String("stencils", "", "comma-separated stencil subset (default: per protocol)")
+		repeats   = flag.Int("repeats", 0, "runs averaged per method (default: protocol)")
+		samples   = flag.Int("samples", 0, "motivation sample size for figs 2-4 (default 20000, quick 2000)")
+		budget    = flag.Float64("budget", 0, "iso-time virtual budget seconds (default 100)")
+		seed      = flag.Int64("seed", 1, "base random seed")
+		artifacts = flag.String("artifacts", "", "directory for SVG/CSV figure artifacts")
+	)
+	flag.Parse()
+
+	o := harness.DefaultOptions()
+	if *quick {
+		o = harness.QuickOptions()
+	}
+	a, err := gpu.ByName(*arch)
+	if err != nil {
+		fail(err)
+	}
+	o.Arch = a
+	o.Seed = *seed
+	if *repeats > 0 {
+		o.Repeats = *repeats
+	}
+	if *budget > 0 {
+		o.BudgetS = *budget
+	}
+	o.ArtifactDir = *artifacts
+	if *stencils != "" {
+		o.Stencils = nil
+		for _, name := range strings.Split(*stencils, ",") {
+			st := stencil.ByName(strings.TrimSpace(name))
+			if st == nil {
+				fail(fmt.Errorf("unknown stencil %q", name))
+			}
+			o.Stencils = append(o.Stencils, st)
+		}
+	}
+	motivN := *samples
+	if motivN == 0 {
+		motivN = 20000
+		if *quick {
+			motivN = 2000
+		}
+	}
+
+	w := os.Stdout
+	ran := false
+	run := func(name string, f func() error) {
+		ran = true
+		fmt.Fprintf(w, "\n==== %s ====\n", name)
+		if err := f(); err != nil {
+			fail(fmt.Errorf("%s: %w", name, err))
+		}
+	}
+
+	if *all || *table == 1 {
+		run("Table I", func() error { return harness.Table1(w, o.Stencils[0]) })
+	}
+	if *all || *table == 3 {
+		run("Table III", func() error { harness.Table3(w); return nil })
+	}
+	if *all || *fig == 2 || *fig == 3 || *fig == 4 {
+		run("Figures 2-4 (motivation)", func() error { return harness.MotivationFigures(w, o, motivN) })
+	}
+	if *all || *fig == 8 {
+		run("Figure 8 (iso-iteration)", func() error { return harness.Fig8(w, o) })
+	}
+	if *all || *fig == 9 {
+		run("Figure 9 (iso-time)", func() error { return harness.Fig9(w, o) })
+	}
+	if *all || *fig == 10 {
+		run("Figure 10 (V100, normalized to Garvey)", func() error {
+			_, err := harness.Fig10(w, o)
+			return err
+		})
+	}
+	if *all || *fig == 11 {
+		run("Figure 11 (sampling-ratio sensitivity)", func() error {
+			ratios := []float64{0.05, 0.10, 0.15, 0.20, 0.25, 0.30, 0.35, 0.40, 0.45, 0.50}
+			if *quick {
+				ratios = []float64{0.05, 0.10, 0.25, 0.50}
+			}
+			_, err := harness.Fig11(w, o, ratios)
+			return err
+		})
+	}
+	if *all || *fig == 12 {
+		run("Figure 12 (pre-processing overhead)", func() error {
+			_, err := harness.Fig12(w, o)
+			return err
+		})
+	}
+	if *all || *ablation {
+		run("Ablation (design choices, DESIGN.md §5)", func() error {
+			_, err := harness.Ablation(w, o)
+			return err
+		})
+	}
+
+	if !ran {
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "experiments:", err)
+	os.Exit(1)
+}

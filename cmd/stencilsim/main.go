@@ -1,0 +1,118 @@
+// Command stencilsim inspects the GPU simulator directly: it builds one
+// parameter setting for a stencil, prints the kernel's resource/geometry
+// analysis and the full Nsight-style metric report, and optionally the
+// generated CUDA source — the same view `ncu` plus `ptxas -v` would give on
+// the paper's testbed.
+//
+// Usage:
+//
+//	stencilsim -stencil j3d7pt                         # default setting
+//	stencilsim -stencil cheby -set "TBx=64,TBy=8,useShared=2" -emit
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/gpu"
+	"repro/internal/sim"
+	"repro/internal/space"
+	"repro/internal/stencil"
+)
+
+func main() {
+	var (
+		name    = flag.String("stencil", "j3d7pt", "stencil name (see Table III)")
+		archStr = flag.String("arch", "a100", "GPU architecture: a100 or v100")
+		setStr  = flag.String("set", "", "comma-separated overrides, e.g. \"TBx=64,useShared=2\"")
+		emit    = flag.Bool("emit", false, "print generated CUDA source")
+	)
+	flag.Parse()
+
+	st := stencil.ByName(*name)
+	if st == nil {
+		fail(fmt.Errorf("unknown stencil %q", *name))
+	}
+	arch, err := gpu.ByName(*archStr)
+	if err != nil {
+		fail(err)
+	}
+	sp, err := space.New(st)
+	if err != nil {
+		fail(err)
+	}
+	setting := sp.Default()
+	if *setStr != "" {
+		if err := applyOverrides(setting, *setStr); err != nil {
+			fail(err)
+		}
+	}
+	if err := sp.Validate(setting); err != nil {
+		fail(fmt.Errorf("setting rejected by explicit constraints: %w", err))
+	}
+
+	simulator := sim.New(sp, arch)
+	res, err := simulator.Run(setting)
+	if err != nil {
+		fail(fmt.Errorf("setting rejected by resource constraints: %w", err))
+	}
+	k := res.Kernel
+
+	fmt.Printf("stencil   %s on %s\n", st, arch.Name)
+	fmt.Printf("setting   %s\n", setting)
+	fmt.Printf("geometry  %d blocks x %d threads, %d streaming iter/block, guard %.3f\n",
+		k.GridBlocks, k.ThreadsPerBlock, k.IterationsPerBlock, k.GuardFrac)
+	fmt.Printf("resources %d regs/thread, %d B smem/block, occupancy %.2f (%s-limited, %d blocks/SM)\n",
+		k.RegsPerThread, k.SharedPerBlock, k.Occ.Achieved, k.Occ.Limiter, k.Occ.BlocksPerSM)
+	fmt.Printf("accesses  %.2f global loads/point (naive %d)\n", k.LoadsPerPoint, st.UniqueOffsets())
+	fmt.Printf("time      %.4f ms\n\n", res.TimeMS)
+
+	names := make([]string, 0, len(res.Metrics))
+	for n := range res.Metrics {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		fmt.Printf("  %-30s %14.4f\n", n, res.Metrics[n])
+	}
+
+	if *emit {
+		fmt.Println("\n---- generated CUDA ----")
+		fmt.Println(k.EmitCUDA())
+	}
+}
+
+// applyOverrides parses "Name=value" pairs against the canonical parameter
+// names.
+func applyOverrides(s space.Setting, str string) error {
+	names := space.ParamNames()
+	idx := map[string]int{}
+	for i, n := range names {
+		idx[n] = i
+	}
+	for _, pair := range strings.Split(str, ",") {
+		kv := strings.SplitN(strings.TrimSpace(pair), "=", 2)
+		if len(kv) != 2 {
+			return fmt.Errorf("malformed override %q", pair)
+		}
+		i, ok := idx[kv[0]]
+		if !ok {
+			return fmt.Errorf("unknown parameter %q (want one of %v)", kv[0], names)
+		}
+		v, err := strconv.Atoi(kv[1])
+		if err != nil {
+			return fmt.Errorf("parameter %s: %w", kv[0], err)
+		}
+		s[i] = v
+	}
+	return nil
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "stencilsim:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,37 @@
+package main
+
+import (
+	"testing"
+
+	"repro/internal/space"
+	"repro/internal/stencil"
+)
+
+func TestApplyOverrides(t *testing.T) {
+	sp, err := space.New(stencil.J3D7PT())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := sp.Default()
+	if err := applyOverrides(s, "TBx=32, useShared=2 ,SB=1"); err != nil {
+		t.Fatal(err)
+	}
+	if s[space.TBX] != 32 || s[space.UseShared] != space.On {
+		t.Fatalf("overrides not applied: %v", s)
+	}
+}
+
+func TestApplyOverridesErrors(t *testing.T) {
+	sp, _ := space.New(stencil.J3D7PT())
+	s := sp.Default()
+	cases := []string{
+		"TBx",          // no '='
+		"NoSuch=4",     // unknown parameter
+		"TBy=notanint", // bad number
+	}
+	for _, c := range cases {
+		if err := applyOverrides(s.Clone(), c); err == nil {
+			t.Errorf("%q: expected error", c)
+		}
+	}
+}

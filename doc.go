@@ -1,0 +1,27 @@
+// Package cstuner is a from-scratch Go reproduction of "csTuner: Scalable
+// Auto-tuning Framework for Complex Stencil Computation on GPUs" (Sun et
+// al., IEEE CLUSTER 2021).
+//
+// The repository contains the complete system the paper describes plus every
+// substrate it depends on:
+//
+//   - the csTuner pipeline — statistic-based parameter grouping (CV +
+//     Algorithm 1), PCC metric combination (Algorithm 2), PMNF-guided
+//     search-space sampling, and an island-model genetic algorithm with
+//     approximation-based stopping (internal/core and its dependencies);
+//   - the eight Table III benchmark stencils with a goroutine-parallel CPU
+//     reference executor (internal/stencil);
+//   - an analytical compiler and GPU performance simulator standing in for
+//     the paper's nvcc/A100/V100/Nsight testbed (internal/kernel,
+//     internal/gpu, internal/sim) — see DESIGN.md for the substitution
+//     rationale;
+//   - the three comparator auto-tuners: OpenTuner, Garvey (with a regression
+//     random forest) and Artemis (internal/baselines/...);
+//   - the experiment harness regenerating every table and figure of the
+//     paper's evaluation (internal/harness, cmd/experiments).
+//
+// This root package is the stable facade: it exposes the operations a
+// downstream user needs — enumerate the stencil suite, construct a tuning
+// session for a stencil on a simulated GPU, run csTuner or any comparator,
+// and inspect the result — without reaching into internal packages.
+package cstuner

@@ -1,0 +1,64 @@
+package cstuner_test
+
+import (
+	"fmt"
+
+	cstuner "repro"
+)
+
+// ExampleSuite lists the paper's Table III benchmark stencils.
+func ExampleSuite() {
+	for _, st := range cstuner.Suite() {
+		fmt.Println(st.Name)
+	}
+	// Output:
+	// j3d7pt
+	// j3d27pt
+	// helmholtz
+	// cheby
+	// hypterm
+	// addsgd4
+	// addsgd6
+	// rhs4center
+}
+
+// ExampleNewSessionFor measures the canonical untuned setting of a stencil
+// on the simulated A100.
+func ExampleNewSessionFor() {
+	session, err := cstuner.NewSessionFor("j3d7pt", "a100")
+	if err != nil {
+		panic(err)
+	}
+	set := session.DefaultSetting()
+	if err := session.Validate(set); err != nil {
+		panic(err)
+	}
+	ms, err := session.Measure(set)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("naive j3d7pt runs in %.1f–%.1f ms territory: %v\n", 1.0, 3.0, ms > 1 && ms < 3)
+	// Output:
+	// naive j3d7pt runs in 1.0–3.0 ms territory: true
+}
+
+// ExampleSession_EmitCUDA shows the generated kernel header for a setting.
+func ExampleSession_EmitCUDA() {
+	session, err := cstuner.NewSessionFor("helmholtz", "a100")
+	if err != nil {
+		panic(err)
+	}
+	src, err := session.EmitCUDA(session.DefaultSetting())
+	if err != nil {
+		panic(err)
+	}
+	// Print just the first line.
+	for i := 0; i < len(src); i++ {
+		if src[i] == '\n' {
+			fmt.Println(src[:i])
+			break
+		}
+	}
+	// Output:
+	// // helmholtz: auto-generated stencil kernel
+}

@@ -1,0 +1,56 @@
+// Comparison: race all four auto-tuning methods — csTuner, Garvey,
+// OpenTuner and Artemis — head-to-head on one stencil under the same
+// virtual time budget (the paper's iso-time protocol, Sec. V-C).
+//
+//	go run ./examples/comparison
+package main
+
+import (
+	"fmt"
+	"log"
+	"sort"
+
+	cstuner "repro"
+)
+
+func main() {
+	const (
+		stencilName = "addsgd6"
+		budgetS     = 80.0 // virtual seconds of compile+run time
+		seed        = 7
+	)
+	session, err := cstuner.NewSessionFor(stencilName, "a100")
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	naive, err := session.Measure(session.DefaultSetting())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("stencil %s on A100, %.0fs budget, naive baseline %.3f ms\n\n",
+		stencilName, budgetS, naive)
+
+	type row struct {
+		method string
+		ms     float64
+	}
+	var rows []row
+	for _, method := range []string{
+		cstuner.MethodCsTuner, cstuner.MethodGarvey,
+		cstuner.MethodOpenTuner, cstuner.MethodArtemis,
+	} {
+		set, ms, err := session.RunComparator(method, budgetS, seed)
+		if err != nil {
+			log.Fatalf("%s: %v", method, err)
+		}
+		rows = append(rows, row{method, ms})
+		fmt.Printf("%-10s best %.3f ms  setting %s\n", method, ms, set)
+	}
+
+	sort.Slice(rows, func(a, b int) bool { return rows[a].ms < rows[b].ms })
+	fmt.Printf("\nranking under iso-time:\n")
+	for i, r := range rows {
+		fmt.Printf("  %d. %-10s %.3f ms (%.2fx over naive)\n", i+1, r.method, r.ms, naive/r.ms)
+	}
+}

@@ -1,0 +1,61 @@
+// Crossarch: the paper's portability study (Sec. V-D) in miniature — tune
+// the same stencils on the A100 and V100 models and show that csTuner's
+// pipeline adapts without any expert re-tuning: the dataset is re-collected
+// on the new hardware and the same statistics drive the search.
+//
+//	go run ./examples/crossarch
+package main
+
+import (
+	"fmt"
+	"log"
+
+	cstuner "repro"
+)
+
+func main() {
+	stencils := []string{"j3d7pt", "cheby", "addsgd4"}
+	archs := []string{"a100", "v100"}
+
+	fmt.Printf("%-10s %-6s %12s %12s %9s\n", "stencil", "arch", "naive ms", "tuned ms", "speedup")
+	for _, name := range stencils {
+		chosen := map[string]cstuner.Setting{}
+		for _, arch := range archs {
+			session, err := cstuner.NewSessionFor(name, arch)
+			if err != nil {
+				log.Fatal(err)
+			}
+			naive, err := session.Measure(session.DefaultSetting())
+			if err != nil {
+				log.Fatal(err)
+			}
+			cfg := cstuner.DefaultConfig()
+			cfg.DatasetSize = 96
+			report, err := session.Tune(cfg)
+			if err != nil {
+				log.Fatal(err)
+			}
+			chosen[arch] = report.Best
+			fmt.Printf("%-10s %-6s %12.3f %12.3f %8.2fx\n",
+				name, arch, naive, report.BestMS, naive/report.BestMS)
+		}
+		// Portability check: how much does the A100's winner lose when
+		// carried to the V100 unchanged? A large gap is exactly why
+		// re-tuning per architecture matters.
+		v100, err := cstuner.NewSessionFor(name, "v100")
+		if err != nil {
+			log.Fatal(err)
+		}
+		carried, err := v100.Measure(chosen["a100"])
+		if err != nil {
+			fmt.Printf("%-10s carried A100 setting is invalid on V100: %v\n", name, err)
+			continue
+		}
+		native, err := v100.Measure(chosen["v100"])
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-10s carrying the A100 winner to V100 costs %+.1f%%\n\n",
+			name, 100*(carried-native)/native)
+	}
+}

@@ -1,0 +1,44 @@
+// Quickstart: auto-tune one benchmark stencil on the simulated A100 with
+// the paper's default csTuner configuration and print what the pipeline did.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	cstuner "repro"
+)
+
+func main() {
+	// A session binds a stencil to a modelled GPU.
+	session, err := cstuner.NewSessionFor("helmholtz", "a100")
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// The untuned baseline: a generic 256-thread block, no optimizations.
+	naive := session.DefaultSetting()
+	naiveMS, err := session.Measure(naive)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("naive setting: %.3f ms\n", naiveMS)
+
+	// Run the full csTuner pipeline: dataset → grouping → metric
+	// combination → PMNF sampling → per-group genetic search.
+	cfg := cstuner.DefaultConfig()
+	report, err := session.Tune(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("parameter groups: %s\n", cstuner.FormatGroups(report.Groups))
+	fmt.Printf("sampled space:    %d settings (%d kernels generated)\n",
+		report.SampledSize, report.GeneratedCUDA)
+	fmt.Printf("search:           %d measurements\n", report.Evaluations)
+	fmt.Printf("tuned setting:    %s\n", report.Best)
+	fmt.Printf("tuned time:       %.3f ms (%.2fx speedup over naive)\n",
+		report.BestMS, naiveMS/report.BestMS)
+}

@@ -1,0 +1,89 @@
+package artemis
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/gpu"
+	"repro/internal/sim"
+	"repro/internal/space"
+	"repro/internal/stencil"
+)
+
+func objective(t testing.TB, st *stencil.Stencil) *sim.Simulator {
+	t.Helper()
+	sp, err := space.New(st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sim.New(sp, gpu.A100())
+}
+
+func TestLevel1CandidatesAreExpertCurated(t *testing.T) {
+	obj := objective(t, stencil.J3D7PT())
+	sp := obj.Space()
+	a := New()
+	cands := a.tbStreamingCandidates(sp)
+	if len(cands) != 20*5 {
+		t.Fatalf("level-1 candidates = %d, want 100", len(cands))
+	}
+	rng := rand.New(rand.NewSource(2))
+	valid := 0
+	for _, c := range cands {
+		sp.Repair(c, rng)
+		if sp.Validate(c) == nil {
+			valid++
+		}
+	}
+	// Expert-curated shapes are nearly all explicitly legal.
+	if valid < len(cands)*3/4 {
+		t.Fatalf("only %d/%d curated candidates valid", valid, len(cands))
+	}
+	// Streamed candidates collapse the walked TB dimension.
+	for _, c := range cands {
+		if c[space.UseStreaming] == space.On && c[space.SD] == 3 && c[space.TBZ] != 1 {
+			t.Fatal("streamed candidate keeps TBz > 1")
+		}
+	}
+}
+
+func TestTopOrdering(t *testing.T) {
+	pool := []candidate{{ms: 3}, {ms: 1}, {ms: 2}}
+	got := top(pool, 2)
+	if len(got) != 2 || got[0].ms != 1 || got[1].ms != 2 {
+		t.Fatalf("top = %v", got)
+	}
+	if got := top(nil, 3); len(got) != 0 {
+		t.Fatal("top of empty should be empty")
+	}
+}
+
+func TestTuneHierarchyImproves(t *testing.T) {
+	obj := objective(t, stencil.AddSGD6())
+	a := New()
+	best, ms, err := a.Tune(obj, nil, 4, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	def, err := obj.Measure(obj.Space().Default())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ms >= def {
+		t.Fatalf("artemis best %.3f no better than default %.3f", ms, def)
+	}
+	if err := obj.Space().Validate(best); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTuneStopsImmediately(t *testing.T) {
+	obj := objective(t, stencil.J3D7PT())
+	a := New()
+	_, _, err := a.Tune(obj, nil, 1, func() bool { return true })
+	// With stop always true, nothing gets measured: must error, not hang
+	// or return garbage.
+	if err == nil {
+		t.Fatal("expected an error when stopped before any measurement")
+	}
+}

@@ -1,0 +1,173 @@
+package baselines_test
+
+import (
+	"math/rand"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/baselines"
+	"repro/internal/baselines/artemis"
+	"repro/internal/baselines/cstuner"
+	"repro/internal/baselines/garvey"
+	"repro/internal/baselines/opentuner"
+	"repro/internal/dataset"
+	"repro/internal/gpu"
+	"repro/internal/sim"
+	"repro/internal/space"
+	"repro/internal/stencil"
+)
+
+func fixture(t testing.TB) (*sim.Simulator, *dataset.Dataset) {
+	t.Helper()
+	sp, err := space.New(stencil.Helmholtz())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := sim.New(sp, gpu.A100())
+	ds, err := dataset.Collect(s, rand.New(rand.NewSource(101)), 64, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s, ds
+}
+
+func allTuners() []baselines.Tuner {
+	cs := cstuner.New()
+	cs.Cfg.DatasetSize = 64
+	cs.Cfg.Sampling.PoolSize = 512
+	cs.Cfg.GA.MaxGenerations = 10
+	cs.Cfg.EmitKernels = false
+	ot := opentuner.New()
+	ot.MaxRounds = 12
+	return []baselines.Tuner{cs, ot, garvey.New(), artemis.New()}
+}
+
+// TestAllTunersBeatRandom: every method must find something clearly better
+// than the median random setting — the minimum bar for calling it a tuner.
+func TestAllTunersBeatRandom(t *testing.T) {
+	s, ds := fixture(t)
+	// Median of the dataset as the random reference.
+	idx := ds.SortedByTime()
+	median := ds.Samples[idx[len(idx)/2]].TimeMS
+
+	for _, tn := range allTuners() {
+		best, ms, err := tn.Tune(s, ds, 7, nil)
+		if err != nil {
+			t.Fatalf("%s: %v", tn.Name(), err)
+		}
+		if best == nil || ms <= 0 {
+			t.Fatalf("%s: degenerate result", tn.Name())
+		}
+		if err := s.Space().Validate(best); err != nil {
+			t.Fatalf("%s: invalid best setting: %v", tn.Name(), err)
+		}
+		got, err := s.Measure(best)
+		if err != nil || got != ms {
+			t.Fatalf("%s: reported %.4f but re-measured %.4f (%v)", tn.Name(), ms, got, err)
+		}
+		if ms > median*0.8 {
+			t.Fatalf("%s: best %.3f ms not clearly better than random median %.3f ms",
+				tn.Name(), ms, median)
+		}
+	}
+}
+
+func TestTunersHonourStop(t *testing.T) {
+	s, ds := fixture(t)
+	for _, tn := range allTuners() {
+		var polls int64
+		stop := func() bool { return atomic.AddInt64(&polls, 1) > 25 }
+		_, _, err := tn.Tune(s, ds, 3, stop)
+		// Stopping early may leave no valid measurement for some methods;
+		// both a best-so-far result and a clean error are acceptable, but
+		// the search must not run unbounded.
+		if polls > 2000 {
+			t.Fatalf("%s: %d stop polls — budget ignored (err=%v)", tn.Name(), polls, err)
+		}
+	}
+}
+
+func TestTunersDeterministic(t *testing.T) {
+	s, ds := fixture(t)
+	for _, tn := range allTuners() {
+		b1, ms1, err1 := tn.Tune(s, ds, 42, nil)
+		b2, ms2, err2 := tn.Tune(s, ds, 42, nil)
+		if (err1 == nil) != (err2 == nil) {
+			t.Fatalf("%s: nondeterministic error", tn.Name())
+		}
+		if err1 != nil {
+			continue
+		}
+		if !b1.Equal(b2) || ms1 != ms2 {
+			t.Fatalf("%s: same seed diverged (%.4f vs %.4f)", tn.Name(), ms1, ms2)
+		}
+	}
+}
+
+func TestGarveyRequiresDataset(t *testing.T) {
+	s, _ := fixture(t)
+	if _, _, err := garvey.New().Tune(s, nil, 1, nil); err == nil {
+		t.Fatal("garvey without dataset should error")
+	}
+}
+
+func TestOpenTunerEnsemble(t *testing.T) {
+	s, ds := fixture(t)
+	ot := opentuner.NewEnsemble()
+	ot.MaxRounds = 15
+	best, ms, err := ot.Tune(s, ds, 5, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if best == nil || ms <= 0 {
+		t.Fatal("ensemble found nothing")
+	}
+}
+
+func TestOpenTunerUnknownTechnique(t *testing.T) {
+	s, _ := fixture(t)
+	ot := opentuner.New()
+	ot.Techniques = []string{"simulated-annealing"}
+	if _, _, err := ot.Tune(s, nil, 1, nil); err == nil {
+		t.Fatal("unknown technique should error")
+	}
+}
+
+func TestTrackerSemantics(t *testing.T) {
+	var tr baselines.Tracker
+	if tr.Found() {
+		t.Fatal("fresh tracker should be empty")
+	}
+	sp, _ := space.New(stencil.J3D7PT())
+	a := sp.Default()
+	tr.Observe(a, 5)
+	tr.Observe(a, 7) // worse: ignored
+	if !tr.Found() || tr.BestMS != 5 || tr.Evals != 2 {
+		t.Fatalf("tracker state: %+v", tr)
+	}
+	b := sp.Default()
+	b[space.TBX] = 32
+	tr.Observe(b, 3)
+	if tr.BestMS != 3 || !tr.BestSet.Equal(b) {
+		t.Fatal("tracker did not adopt improvement")
+	}
+	// BestSet must be a copy.
+	b[space.TBX] = 1
+	if tr.BestSet[space.TBX] == 1 {
+		t.Fatal("tracker aliases the observed setting")
+	}
+}
+
+func TestCsTunerAdapterKeepsReport(t *testing.T) {
+	s, ds := fixture(t)
+	cs := cstuner.New()
+	cs.Cfg.Sampling.PoolSize = 256
+	cs.Cfg.GA.MaxGenerations = 6
+	cs.Cfg.EmitKernels = false
+	if _, _, err := cs.Tune(s, ds, 1, nil); err != nil {
+		t.Fatal(err)
+	}
+	if cs.LastReport == nil || len(cs.LastReport.Groups) == 0 {
+		t.Fatal("adapter did not retain the pipeline report")
+	}
+}

@@ -1,0 +1,40 @@
+// Package cstuner adapts the csTuner pipeline (internal/core) to the common
+// baselines.Tuner interface so the experiment harness can race all four
+// auto-tuning methods through identical protocols.
+package cstuner
+
+import (
+	"repro/internal/baselines"
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/sim"
+	"repro/internal/space"
+)
+
+// Tuner wraps core.Tune.
+type Tuner struct {
+	Cfg core.Config
+	// LastReport keeps the most recent pipeline report for overhead and
+	// diagnostics inspection (Fig. 12).
+	LastReport *core.Report
+}
+
+// New returns csTuner with the paper's default configuration.
+func New() *Tuner { return &Tuner{Cfg: core.DefaultConfig()} }
+
+// Name implements baselines.Tuner.
+func (t *Tuner) Name() string { return "cstuner" }
+
+// Tune implements baselines.Tuner.
+func (t *Tuner) Tune(obj sim.Objective, ds *dataset.Dataset, seed int64, stop func() bool) (space.Setting, float64, error) {
+	cfg := t.Cfg
+	cfg.Seed = seed
+	rep, err := core.Tune(baselines.WithCache(obj), ds, cfg, stop)
+	if err != nil {
+		return nil, 0, err
+	}
+	t.LastReport = rep
+	return rep.Best, rep.BestMS, nil
+}
+
+var _ baselines.Tuner = (*Tuner)(nil)

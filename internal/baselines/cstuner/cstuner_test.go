@@ -1,0 +1,92 @@
+package cstuner
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/gpu"
+	"repro/internal/kernel"
+	"repro/internal/sim"
+	"repro/internal/space"
+	"repro/internal/stencil"
+)
+
+func fixture(t testing.TB) (*sim.Simulator, *dataset.Dataset) {
+	t.Helper()
+	sp, err := space.New(stencil.J3D27PT())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := sim.New(sp, gpu.A100())
+	ds, err := dataset.Collect(s, rand.New(rand.NewSource(51)), 64, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s, ds
+}
+
+func TestAdapterName(t *testing.T) {
+	if New().Name() != "cstuner" {
+		t.Fatal("wrong name")
+	}
+}
+
+func TestAdapterSeedsConfig(t *testing.T) {
+	s, ds := fixture(t)
+	a := New()
+	a.Cfg.Sampling.PoolSize = 256
+	a.Cfg.GA.MaxGenerations = 6
+	a.Cfg.EmitKernels = false
+	b1, ms1, err := a.Tune(s, ds, 11, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b2, ms2, err := a.Tune(s, ds, 11, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !b1.Equal(b2) || ms1 != ms2 {
+		t.Fatal("adapter not deterministic for a fixed seed")
+	}
+	if a.LastReport == nil || a.LastReport.BestMS != ms2 {
+		t.Fatal("LastReport not retained")
+	}
+	// The adapter must pass the seed through: different seeds explore
+	// differently (same result value is possible, identical eval counts
+	// across many seeds are not).
+	evals := map[int]bool{}
+	for seed := int64(0); seed < 4; seed++ {
+		if _, _, err := a.Tune(s, ds, seed, nil); err != nil {
+			t.Fatal(err)
+		}
+		evals[a.LastReport.Evaluations] = true
+	}
+	if len(evals) == 1 {
+		t.Log("all seeds evaluated identically (possible but suspicious)")
+	}
+}
+
+func TestAdapterEmitsThroughSimulator(t *testing.T) {
+	s, ds := fixture(t)
+	a := New()
+	a.Cfg.Sampling.PoolSize = 256
+	a.Cfg.GA.MaxGenerations = 4
+	a.Cfg.EmitKernels = true
+	// Resource-prefilter the candidate pool so every sampled setting is
+	// buildable; this both exercises the sampling hook and guarantees the
+	// codegen stage emits kernels.
+	sp := s.Space()
+	arch := s.Arch
+	a.Cfg.Sampling.Prefilter = func(set space.Setting) bool {
+		_, err := kernel.Build(sp, set, arch)
+		return err == nil
+	}
+	if _, _, err := a.Tune(s, ds, 1, nil); err != nil {
+		t.Fatal(err)
+	}
+	if a.LastReport.GeneratedCUDA == 0 || a.LastReport.GeneratedCUDA != a.LastReport.SampledSize {
+		t.Fatalf("codegen emitted %d of %d sampled (prefiltered) settings",
+			a.LastReport.GeneratedCUDA, a.LastReport.SampledSize)
+	}
+}

@@ -1,0 +1,197 @@
+// Package garvey re-implements the Garvey & Abdelrahman comparator (ICPP'15)
+// as the paper describes and configures it (Sec. V-A2): a random forest
+// predicts the optimal memory-type configuration from measured experience,
+// the remaining parameters are grouped *by dimension* using expert
+// knowledge, and each group is searched exhaustively over a random sample of
+// its settings (the paper sets the sampling ratio to 10%).
+//
+// Its two structural weaknesses — expert grouping that ignores measured
+// correlation, and unguided random sampling that can drop the optimum — are
+// what csTuner's evaluation contrasts against.
+package garvey
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+
+	"repro/internal/baselines"
+	"repro/internal/dataset"
+	"repro/internal/forest"
+	"repro/internal/sim"
+	"repro/internal/space"
+)
+
+// Tuner is the Garvey comparator.
+type Tuner struct {
+	// SamplingRatio is the fraction of each group's cartesian product that
+	// is evaluated (paper: 10%).
+	SamplingRatio float64
+	// Forest options for the memory-type predictor.
+	Forest forest.Options
+}
+
+// New returns the paper's configuration.
+func New() *Tuner {
+	return &Tuner{SamplingRatio: 0.10, Forest: forest.DefaultOptions()}
+}
+
+// Name implements baselines.Tuner.
+func (t *Tuner) Name() string { return "garvey" }
+
+// dimension groups: expert "grouping by dimension" (paper Sec. V-A2).
+func dimensionGroups() [][]int {
+	return [][]int{
+		{space.TBX, space.UFX, space.CMX, space.BMX},
+		{space.TBY, space.UFY, space.CMY, space.BMY},
+		{space.TBZ, space.UFZ, space.CMZ, space.BMZ},
+		{space.UseStreaming, space.SD, space.SB, space.UseRetiming, space.UsePrefetching},
+	}
+}
+
+// Tune implements baselines.Tuner.
+func (t *Tuner) Tune(obj sim.Objective, ds *dataset.Dataset, seed int64, stop func() bool) (space.Setting, float64, error) {
+	if ds == nil || len(ds.Samples) == 0 {
+		return nil, 0, errors.New("garvey: requires an offline experience dataset")
+	}
+	if stop == nil {
+		stop = func() bool { return false }
+	}
+	obj = baselines.WithCache(obj) // re-probing a known setting is free
+	sp := obj.Space()
+	rng := rand.New(rand.NewSource(seed))
+	var track baselines.Tracker
+
+	measure := func(s space.Setting) float64 {
+		if stop() {
+			return math.Inf(1)
+		}
+		ms, err := obj.Measure(s)
+		if err != nil {
+			return math.Inf(1)
+		}
+		track.Observe(s, ms)
+		return ms
+	}
+
+	// ---- Memory-type prediction with a random forest --------------------
+	useShared, useConstant, err := t.predictMemoryType(ds)
+	if err != nil {
+		return nil, 0, err
+	}
+	current := sp.Default()
+	current[space.UseShared] = useShared
+	current[space.UseConstant] = useConstant
+	measure(current)
+
+	// ---- Per-dimension exhaustive search with random sampling -----------
+	for _, group := range dimensionGroups() {
+		if stop() {
+			break
+		}
+		combos := enumerate(sp, group)
+		sampled := sample(combos, t.SamplingRatio, rng)
+		bestMS := math.Inf(1)
+		var bestCombo []int
+		for _, combo := range sampled {
+			cand := current.Clone()
+			for i, p := range group {
+				cand[p] = combo[i]
+			}
+			sp.Repair(cand, rng)
+			if sp.Validate(cand) != nil {
+				continue
+			}
+			if ms := measure(cand); ms < bestMS {
+				bestMS = ms
+				bestCombo = combo
+			}
+		}
+		if bestCombo != nil {
+			for i, p := range group {
+				current[p] = bestCombo[i]
+			}
+			sp.Repair(current, rng)
+		}
+	}
+
+	if !track.Found() {
+		return nil, 0, errors.New("garvey: no valid setting found")
+	}
+	return track.BestSet, track.BestMS, nil
+}
+
+// predictMemoryType trains the forest on the experience dataset (features:
+// the full setting; target: time) and returns the memory-flag pair with the
+// lowest predicted time averaged over the dataset's settings.
+func (t *Tuner) predictMemoryType(ds *dataset.Dataset) (useShared, useConstant int, err error) {
+	x := make([][]float64, len(ds.Samples))
+	y := make([]float64, len(ds.Samples))
+	for i, s := range ds.Samples {
+		row := make([]float64, len(s.Setting))
+		for p, v := range s.Setting {
+			row[p] = float64(v)
+		}
+		x[i] = row
+		y[i] = s.TimeMS
+	}
+	f, err := forest.Train(x, y, t.Forest)
+	if err != nil {
+		return 0, 0, err
+	}
+	bestShared, bestConstant := space.Off, space.Off
+	bestScore := math.Inf(1)
+	for _, sh := range []int{space.Off, space.On} {
+		for _, co := range []int{space.Off, space.On} {
+			score := 0.0
+			for i := range x {
+				row := append([]float64(nil), x[i]...)
+				row[space.UseShared] = float64(sh)
+				row[space.UseConstant] = float64(co)
+				p, err := f.Predict(row)
+				if err != nil {
+					return 0, 0, err
+				}
+				score += p
+			}
+			if score < bestScore {
+				bestScore, bestShared, bestConstant = score, sh, co
+			}
+		}
+	}
+	return bestShared, bestConstant, nil
+}
+
+// enumerate lists the cartesian product of the group's raw value ranges.
+func enumerate(sp *space.Space, group []int) [][]int {
+	combos := [][]int{{}}
+	for _, p := range group {
+		vals := sp.Params[p].Values
+		next := make([][]int, 0, len(combos)*len(vals))
+		for _, c := range combos {
+			for _, v := range vals {
+				nc := append(append([]int{}, c...), v)
+				next = append(next, nc)
+			}
+		}
+		combos = next
+	}
+	return combos
+}
+
+// sample keeps a uniformly random ratio fraction (at least one combo).
+func sample(combos [][]int, ratio float64, rng *rand.Rand) [][]int {
+	if ratio >= 1 {
+		return combos
+	}
+	n := int(math.Ceil(ratio * float64(len(combos))))
+	if n < 1 {
+		n = 1
+	}
+	idx := rng.Perm(len(combos))[:n]
+	out := make([][]int, n)
+	for i, j := range idx {
+		out[i] = combos[j]
+	}
+	return out
+}

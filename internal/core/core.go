@@ -1,0 +1,336 @@
+// Package core is csTuner itself: the scalable auto-tuning pipeline of
+// Sec. IV that wires together the performance dataset, statistic-based
+// parameter grouping, PCC metric combination, PMNF-guided search-space
+// sampling, and the iterative per-group genetic search with approximation.
+//
+// The pipeline observes the GPU only through sim.Objective, so it tunes the
+// simulator here and would tune real hardware identically.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/dataset"
+	"repro/internal/ga"
+	"repro/internal/gpu"
+	"repro/internal/grouping"
+	"repro/internal/kernel"
+	"repro/internal/metrics"
+	"repro/internal/pmnf"
+	"repro/internal/sampling"
+	"repro/internal/sim"
+	"repro/internal/space"
+)
+
+// Config bundles the pipeline's knobs; DefaultConfig mirrors the paper's
+// evaluation setup (Sec. V-A2).
+type Config struct {
+	// DatasetSize is the number of randomly sampled settings measured for
+	// the stencil dataset (paper: 128).
+	DatasetSize int
+	// NumMetricCollections bounds Algorithm 2's collection count.
+	NumMetricCollections int
+	// MaxGroupSize caps Algorithm 1 group growth (PMNF term width).
+	MaxGroupSize int
+	// IS and JS are the PMNF exponent ranges (paper: {0,1,2} and {0,1}).
+	IS, JS []int
+	// Sampling holds the ratio (paper: 10%) and candidate pool size.
+	Sampling sampling.Config
+	// GA holds the genetic-algorithm options (paper: 2×16, 0.8, 0.005).
+	GA ga.Options
+	// Seed drives every random choice in the pipeline.
+	Seed int64
+	// EmitKernels enables CUDA source generation for the sampled settings
+	// (the codegen stage of the overhead breakdown). Requires the
+	// objective to be a *sim.Simulator so the target arch is known.
+	EmitKernels bool
+}
+
+// DefaultConfig returns the paper's configuration.
+func DefaultConfig() Config {
+	return Config{
+		DatasetSize:          128,
+		NumMetricCollections: 4,
+		MaxGroupSize:         4,
+		IS:                   pmnf.DefaultI,
+		JS:                   pmnf.DefaultJ,
+		Sampling:             sampling.DefaultConfig(),
+		GA:                   ga.DefaultOptions(),
+		Seed:                 1,
+		EmitKernels:          true,
+	}
+}
+
+// Overhead is the wall-clock breakdown of the pre-processing stages
+// (Fig. 12): parameter grouping, search-space sampling (metric combination +
+// PMNF fitting + filtering), and code generation.
+type Overhead struct {
+	Grouping time.Duration
+	Sampling time.Duration
+	Codegen  time.Duration
+}
+
+// Total returns the summed pre-processing time.
+func (o Overhead) Total() time.Duration { return o.Grouping + o.Sampling + o.Codegen }
+
+// Report is the outcome of one Tune run.
+type Report struct {
+	Best   space.Setting
+	BestMS float64
+
+	Groups          [][]int
+	SelectedMetrics []metrics.Selected
+	Models          map[string]*pmnf.Model
+	SampledSize     int
+	Overhead        Overhead
+	Evaluations     int // distinct settings measured during the search
+	GroupOrder      []int
+	GeneratedCUDA   int // kernels emitted during codegen
+}
+
+// Tune runs the full csTuner pipeline against the objective.
+//
+// ds is the offline stencil dataset (metric collection is a one-time offline
+// step, paper Sec. V-F); pass nil to have Tune collect cfg.DatasetSize
+// samples through the objective's Run method when the objective is a
+// *sim.Simulator. stop is polled between evaluations — the harness uses it
+// to enforce iso-time budgets; pass nil for no budget.
+func Tune(obj sim.Objective, ds *dataset.Dataset, cfg Config, stop func() bool) (*Report, error) {
+	if stop == nil {
+		stop = func() bool { return false }
+	}
+	sp := obj.Space()
+	rng := rand.New(rand.NewSource(cfg.Seed))
+
+	if ds == nil {
+		s, ok := obj.(*sim.Simulator)
+		if !ok {
+			return nil, errors.New("core: no dataset given and objective cannot collect one")
+		}
+		var err error
+		ds, err = dataset.Collect(s, rng, cfg.DatasetSize, 0)
+		if err != nil {
+			return nil, fmt.Errorf("core: dataset collection: %w", err)
+		}
+	}
+	if len(ds.Samples) < 8 {
+		return nil, fmt.Errorf("core: dataset too small (%d samples)", len(ds.Samples))
+	}
+	for i := range ds.Samples {
+		if len(ds.Samples[i].Setting) != sp.N() {
+			return nil, fmt.Errorf("core: dataset sample %d has %d parameters, space has %d — wrong dataset for this space?",
+				i, len(ds.Samples[i].Setting), sp.N())
+		}
+	}
+
+	rep := &Report{Models: map[string]*pmnf.Model{}}
+
+	// ---- Pre-processing: parameter grouping (Sec. IV-C) -----------------
+	t0 := time.Now()
+	pairs := grouping.PairCVs(ds, sp)
+	groups := grouping.Groups(pairs, cfg.MaxGroupSize)
+	if err := grouping.ValidateN(groups, sp.N()); err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	rep.Groups = groups
+	rep.Overhead.Grouping = time.Since(t0)
+
+	// ---- Pre-processing: search-space sampling (Sec. IV-D) --------------
+	t0 = time.Now()
+	names := metricNames(ds)
+	mpairs, err := metrics.PairPCCs(ds, names)
+	if err != nil {
+		return nil, fmt.Errorf("core: metric PCCs: %w", err)
+	}
+	collections := metrics.Combine(mpairs, cfg.NumMetricCollections)
+	selected, err := metrics.Select(ds, collections)
+	if err != nil {
+		return nil, fmt.Errorf("core: metric selection: %w", err)
+	}
+	rep.SelectedMetrics = selected
+
+	for _, sel := range selected {
+		col, err := ds.MetricColumn(sel.Name)
+		if err != nil {
+			return nil, err
+		}
+		m, err := pmnf.Fit(ds, groups, col, cfg.IS, cfg.JS)
+		if err != nil {
+			return nil, fmt.Errorf("core: PMNF fit for %s: %w", sel.Name, err)
+		}
+		rep.Models[sel.Name] = m
+	}
+
+	// Note on the implicit-constraint prefilter: Config.Sampling.Prefilter
+	// can reject spill/capacity-invalid candidates before scoring, but it
+	// is intentionally NOT installed by default. Sampled-but-unbuildable
+	// settings still contribute per-group value tuples that recombine into
+	// valid, fast compositions during the group search; measured ablations
+	// show pool-level filtering costs final quality while saving only
+	// constraint checks the search rejects for free anyway (Sec. IV-B's
+	// check happens before code generation and measurement, which this
+	// pipeline honours at the kernel.Build boundary).
+	sampled, err := sampling.Build(ds, sp, groups, selected, rep.Models, rng, cfg.Sampling)
+	if err != nil {
+		return nil, fmt.Errorf("core: sampling: %w", err)
+	}
+	rep.SampledSize = len(sampled.Settings)
+	rep.Overhead.Sampling = time.Since(t0)
+
+	// ---- Pre-processing: code generation ---------------------------------
+	if cfg.EmitKernels && sp.Stencil != nil {
+		if ap, ok := obj.(interface{ Architecture() *gpu.Arch }); ok {
+			if arch := ap.Architecture(); arch != nil {
+				t0 = time.Now()
+				for _, set := range sampled.Settings {
+					k, err := kernel.Build(sp, set, arch)
+					if err != nil {
+						continue // resource-invalid sampled candidates are dropped at build time
+					}
+					_ = k.EmitCUDA()
+					rep.GeneratedCUDA++
+				}
+				rep.Overhead.Codegen = time.Since(t0)
+			}
+		}
+	}
+
+	// ---- Evolutionary search (Sec. IV-E) ---------------------------------
+	best, bestMS, evals, err := search(obj, sampled, ds, cfg, rep, stop)
+	if err != nil {
+		return nil, err
+	}
+	rep.Best, rep.BestMS, rep.Evaluations = best, bestMS, evals
+	return rep, nil
+}
+
+// metricNames lists the metric keys present in the dataset's first sample,
+// sorted for determinism.
+func metricNames(ds *dataset.Dataset) []string {
+	names := make([]string, 0, len(ds.Samples[0].Metrics))
+	for n := range ds.Samples[0].Metrics {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// search performs iterative per-group tuning: groups are visited in
+// descending re-indexed-range order (bigger ranges carry more performance
+// head-room); each group is tuned by the customized GA — degenerating to
+// exhaustive search for small ranges — while the remaining parameters stay
+// fixed, then frozen at its winner.
+func search(obj sim.Objective, sampled *sampling.Sampled, ds *dataset.Dataset,
+	cfg Config, rep *Report, stop func() bool) (space.Setting, float64, int, error) {
+
+	sp := obj.Space()
+
+	// Starting point: the sampled space's best-predicted setting, or the
+	// dataset's best measured setting if measuring the former fails.
+	current, err := sampled.Best()
+	if err != nil {
+		return nil, 0, 0, err
+	}
+	bestSet := ds.Best().Setting.Clone()
+	bestMS := ds.Best().TimeMS
+
+	evals := 0
+	var mu sync.Mutex // GA sub-populations evaluate concurrently
+	measure := func(s space.Setting) float64 {
+		if stop() {
+			return math.Inf(1)
+		}
+		ms, err := obj.Measure(s)
+		if err != nil {
+			return math.Inf(1)
+		}
+		mu.Lock()
+		evals++
+		if ms < bestMS {
+			bestMS = ms
+			bestSet = s.Clone()
+		}
+		mu.Unlock()
+		return ms
+	}
+
+	// Anchor measurements: the canonical untuned baseline (a tuner must
+	// never report worse than "do nothing") and the sampler's best
+	// prediction, which becomes the search context.
+	if def := sp.Default(); sp.Validate(def) == nil {
+		measure(def)
+	}
+	if ms := measure(current); math.IsInf(ms, 1) {
+		current = bestSet.Clone()
+	}
+
+	order := groupOrder(sampled)
+	rep.GroupOrder = order
+	gaOpt := cfg.GA
+
+	// Iterative auto-tuning over parameter groups. After the first pass,
+	// further refinement passes re-tune each group in the context the other
+	// groups settled into; earlier probes are memoized by the measurement
+	// cache, so a pass that discovers nothing new is nearly free. The loop
+	// ends when a full pass stops improving, the budget stops us, or the
+	// safety cap is hit.
+	const maxPasses = 4
+	for pass := 0; pass < maxPasses; pass++ {
+		improvedPass := false
+		for _, gi := range order {
+			if stop() {
+				return bestSet, bestMS, evals, nil
+			}
+			values := sampled.Values[gi]
+			if len(values) <= 1 {
+				continue
+			}
+			gaOpt.Seed = cfg.Seed + int64(gi)*104729 + int64(pass)*15485863
+			before := bestMS
+			res := ga.Minimize(len(values), func(tupleIdx int) float64 {
+				cand := current.Clone()
+				if err := sampled.Apply(cand, gi, tupleIdx); err != nil {
+					return math.Inf(1)
+				}
+				if sp.Validate(cand) != nil {
+					return math.Inf(1)
+				}
+				return measure(cand)
+			}, gaOpt)
+			if res.BestIndex >= 0 && !math.IsInf(res.BestValue, 1) {
+				if err := sampled.Apply(current, gi, res.BestIndex); err != nil {
+					return nil, 0, 0, err
+				}
+			}
+			if bestMS < before {
+				improvedPass = true
+			}
+		}
+		// Adopt the global best as the context for the next pass: the
+		// per-group winners may not compose, but the best measured full
+		// setting is always a valid composition.
+		current = bestSet.Clone()
+		if !improvedPass {
+			break
+		}
+	}
+	return bestSet, bestMS, evals, nil
+}
+
+// groupOrder returns group indices sorted by descending value-range size.
+func groupOrder(sampled *sampling.Sampled) []int {
+	order := make([]int, len(sampled.Groups))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		return len(sampled.Values[order[a]]) > len(sampled.Values[order[b]])
+	})
+	return order
+}

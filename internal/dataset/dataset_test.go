@@ -1,0 +1,157 @@
+package dataset
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"repro/internal/gpu"
+	"repro/internal/sim"
+	"repro/internal/space"
+	"repro/internal/stencil"
+)
+
+func collect(t *testing.T, n int) (*Dataset, *sim.Simulator) {
+	t.Helper()
+	sp, err := space.New(stencil.J3D7PT())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := sim.New(sp, gpu.A100())
+	ds, err := Collect(s, rand.New(rand.NewSource(3)), n, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ds, s
+}
+
+func TestCollectBasics(t *testing.T) {
+	ds, _ := collect(t, 32)
+	if len(ds.Samples) != 32 {
+		t.Fatalf("collected %d samples, want 32", len(ds.Samples))
+	}
+	if ds.Stencil != "j3d7pt" || ds.Arch != "A100" {
+		t.Fatalf("labels = %s/%s", ds.Stencil, ds.Arch)
+	}
+	seen := map[string]bool{}
+	for _, s := range ds.Samples {
+		if s.TimeMS <= 0 {
+			t.Fatal("non-positive time")
+		}
+		if len(s.Metrics) < 15 {
+			t.Fatalf("sample has only %d metrics", len(s.Metrics))
+		}
+		k := s.Setting.Key()
+		if seen[k] {
+			t.Fatal("duplicate setting in dataset")
+		}
+		seen[k] = true
+	}
+}
+
+func TestCollectRejectsBadArgs(t *testing.T) {
+	_, s := collect(t, 4)
+	if _, err := Collect(s, rand.New(rand.NewSource(1)), 0, 0); err == nil {
+		t.Fatal("n=0 should error")
+	}
+	// Impossible budget: 8 samples within 3 tries.
+	if _, err := Collect(s, rand.New(rand.NewSource(1)), 8, 3); err == nil {
+		t.Fatal("tiny try budget should error")
+	}
+}
+
+func TestBestAndSorted(t *testing.T) {
+	ds, _ := collect(t, 24)
+	best := ds.Best()
+	for _, s := range ds.Samples {
+		if s.TimeMS < best.TimeMS {
+			t.Fatal("Best is not minimal")
+		}
+	}
+	idx := ds.SortedByTime()
+	if len(idx) != 24 {
+		t.Fatal("SortedByTime length")
+	}
+	for i := 1; i < len(idx); i++ {
+		if ds.Samples[idx[i-1]].TimeMS > ds.Samples[idx[i]].TimeMS {
+			t.Fatal("SortedByTime not ascending")
+		}
+	}
+	if ds.Samples[idx[0]].TimeMS != best.TimeMS {
+		t.Fatal("sorted[0] disagrees with Best")
+	}
+}
+
+func TestColumns(t *testing.T) {
+	ds, _ := collect(t, 16)
+	col, err := ds.MetricColumn("sm__occupancy_achieved")
+	if err != nil || len(col) != 16 {
+		t.Fatalf("MetricColumn: %v len %d", err, len(col))
+	}
+	if _, err := ds.MetricColumn("no_such_metric"); err == nil {
+		t.Fatal("missing metric should error")
+	}
+	times := ds.Times()
+	for i := range times {
+		if times[i] != ds.Samples[i].TimeMS {
+			t.Fatal("Times mismatch")
+		}
+	}
+	pc, err := ds.ParamColumn(space.TBX)
+	if err != nil || len(pc) != 16 {
+		t.Fatalf("ParamColumn: %v", err)
+	}
+	if _, err := ds.ParamColumn(-1); err == nil {
+		t.Fatal("bad param index should error")
+	}
+	if _, err := ds.ParamColumn(space.NumParams); err == nil {
+		t.Fatal("out-of-range param index should error")
+	}
+}
+
+func TestLookup(t *testing.T) {
+	ds, _ := collect(t, 8)
+	s, ok := ds.Lookup(ds.Samples[3].Setting)
+	if !ok || s.TimeMS != ds.Samples[3].TimeMS {
+		t.Fatal("Lookup failed for a present setting")
+	}
+	sp, _ := space.New(stencil.J3D7PT())
+	other := sp.Default()
+	other[space.TBX] = 1
+	other[space.TBY] = 1
+	if _, ok := ds.Lookup(other); ok {
+		t.Fatal("Lookup matched an absent setting")
+	}
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	ds, _ := collect(t, 8)
+	var buf bytes.Buffer
+	if err := ds.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Stencil != ds.Stencil || got.Arch != ds.Arch || len(got.Samples) != len(ds.Samples) {
+		t.Fatal("round trip changed header")
+	}
+	for i := range ds.Samples {
+		if !got.Samples[i].Setting.Equal(ds.Samples[i].Setting) {
+			t.Fatal("round trip changed a setting")
+		}
+		if got.Samples[i].TimeMS != ds.Samples[i].TimeMS {
+			t.Fatal("round trip changed a time")
+		}
+	}
+}
+
+func TestLoadRejectsGarbage(t *testing.T) {
+	if _, err := Load(bytes.NewBufferString("not json")); err == nil {
+		t.Fatal("garbage should error")
+	}
+	if _, err := Load(bytes.NewBufferString(`{"stencil":"x","samples":[]}`)); err == nil {
+		t.Fatal("empty dataset should error")
+	}
+}

@@ -1,0 +1,162 @@
+// Package deque implements a generic double-ended queue backed by a growable
+// ring buffer.
+//
+// The csTuner pipeline uses deques in two places: Algorithm 1 (parameter
+// grouping) pops correlated parameter pairs alternately from the left and the
+// right end, and Algorithm 2 (metric combination) pops metric pairs from the
+// right end in descending correlation order.
+package deque
+
+// Deque is a double-ended queue of values of type T.
+//
+// The zero value is an empty deque ready to use. A Deque is not safe for
+// concurrent use; guard it externally if shared across goroutines.
+type Deque[T any] struct {
+	buf   []T
+	head  int // index of the first element
+	count int
+}
+
+// minCapacity is the initial ring size allocated on the first push. It must
+// be a power of two so that index wrapping can use a bitmask.
+const minCapacity = 8
+
+// New returns an empty deque with capacity for at least n elements.
+func New[T any](n int) *Deque[T] {
+	c := minCapacity
+	for c < n {
+		c <<= 1
+	}
+	return &Deque[T]{buf: make([]T, c)}
+}
+
+// Len reports the number of elements currently in the deque.
+func (d *Deque[T]) Len() int { return d.count }
+
+// Empty reports whether the deque holds no elements.
+func (d *Deque[T]) Empty() bool { return d.count == 0 }
+
+// PushBack appends v at the right end.
+func (d *Deque[T]) PushBack(v T) {
+	d.grow()
+	d.buf[d.index(d.count)] = v
+	d.count++
+}
+
+// PushFront prepends v at the left end.
+func (d *Deque[T]) PushFront(v T) {
+	d.grow()
+	d.head = d.index(-1 + len(d.buf))
+	d.buf[d.head] = v
+	d.count++
+}
+
+// PopFront removes and returns the leftmost element. The second result is
+// false when the deque is empty.
+func (d *Deque[T]) PopFront() (T, bool) {
+	var zero T
+	if d.count == 0 {
+		return zero, false
+	}
+	v := d.buf[d.head]
+	d.buf[d.head] = zero // release reference for GC
+	d.head = d.index(1)
+	d.count--
+	d.shrink()
+	return v, true
+}
+
+// PopBack removes and returns the rightmost element. The second result is
+// false when the deque is empty.
+func (d *Deque[T]) PopBack() (T, bool) {
+	var zero T
+	if d.count == 0 {
+		return zero, false
+	}
+	i := d.index(d.count - 1)
+	v := d.buf[i]
+	d.buf[i] = zero
+	d.count--
+	d.shrink()
+	return v, true
+}
+
+// Front returns the leftmost element without removing it.
+func (d *Deque[T]) Front() (T, bool) {
+	var zero T
+	if d.count == 0 {
+		return zero, false
+	}
+	return d.buf[d.head], true
+}
+
+// Back returns the rightmost element without removing it.
+func (d *Deque[T]) Back() (T, bool) {
+	var zero T
+	if d.count == 0 {
+		return zero, false
+	}
+	return d.buf[d.index(d.count-1)], true
+}
+
+// At returns the i-th element from the front (0-based). It panics when i is
+// out of range, mirroring slice indexing.
+func (d *Deque[T]) At(i int) T {
+	if i < 0 || i >= d.count {
+		panic("deque: index out of range")
+	}
+	return d.buf[d.index(i)]
+}
+
+// Slice returns the elements in order from front to back as a fresh slice.
+func (d *Deque[T]) Slice() []T {
+	out := make([]T, d.count)
+	for i := 0; i < d.count; i++ {
+		out[i] = d.buf[d.index(i)]
+	}
+	return out
+}
+
+// Clear removes all elements but keeps the allocated capacity.
+func (d *Deque[T]) Clear() {
+	var zero T
+	for i := 0; i < d.count; i++ {
+		d.buf[d.index(i)] = zero
+	}
+	d.head = 0
+	d.count = 0
+}
+
+// index maps a logical offset from the head to a physical buffer index.
+func (d *Deque[T]) index(off int) int {
+	return (d.head + off) & (len(d.buf) - 1)
+}
+
+// grow doubles the ring when full (or allocates it on first use).
+func (d *Deque[T]) grow() {
+	if len(d.buf) == 0 {
+		d.buf = make([]T, minCapacity)
+		return
+	}
+	if d.count < len(d.buf) {
+		return
+	}
+	d.resize(len(d.buf) << 1)
+}
+
+// shrink halves the ring when it is at most a quarter full, bounding memory
+// after large transients. The ring never drops below minCapacity.
+func (d *Deque[T]) shrink() {
+	if len(d.buf) > minCapacity && d.count<<2 <= len(d.buf) {
+		d.resize(len(d.buf) >> 1)
+	}
+}
+
+func (d *Deque[T]) resize(n int) {
+	buf := make([]T, n)
+	for i := 0; i < d.count; i++ {
+		buf[i] = d.buf[d.index(i)]
+	}
+	d.buf = buf
+	d.head = 0
+}

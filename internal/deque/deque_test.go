@@ -1,0 +1,233 @@
+package deque
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestZeroValueUsable(t *testing.T) {
+	var d Deque[int]
+	if !d.Empty() || d.Len() != 0 {
+		t.Fatalf("zero deque not empty: len=%d", d.Len())
+	}
+	d.PushBack(1)
+	if v, ok := d.PopFront(); !ok || v != 1 {
+		t.Fatalf("PopFront = %v,%v, want 1,true", v, ok)
+	}
+}
+
+func TestPushPopFIFO(t *testing.T) {
+	d := New[int](4)
+	for i := 0; i < 100; i++ {
+		d.PushBack(i)
+	}
+	for i := 0; i < 100; i++ {
+		v, ok := d.PopFront()
+		if !ok || v != i {
+			t.Fatalf("PopFront #%d = %v,%v", i, v, ok)
+		}
+	}
+	if !d.Empty() {
+		t.Fatal("deque should be empty")
+	}
+}
+
+func TestPushPopLIFO(t *testing.T) {
+	d := New[string](0)
+	d.PushBack("a")
+	d.PushBack("b")
+	d.PushBack("c")
+	if v, _ := d.PopBack(); v != "c" {
+		t.Fatalf("PopBack = %q, want c", v)
+	}
+	if v, _ := d.PopBack(); v != "b" {
+		t.Fatalf("PopBack = %q, want b", v)
+	}
+	if v, _ := d.PopBack(); v != "a" {
+		t.Fatalf("PopBack = %q, want a", v)
+	}
+	if _, ok := d.PopBack(); ok {
+		t.Fatal("PopBack on empty should report false")
+	}
+}
+
+func TestPushFront(t *testing.T) {
+	d := New[int](0)
+	for i := 0; i < 50; i++ {
+		d.PushFront(i)
+	}
+	// Front is the last pushed value.
+	for i := 49; i >= 0; i-- {
+		v, ok := d.PopFront()
+		if !ok || v != i {
+			t.Fatalf("PopFront = %v,%v, want %d,true", v, ok, i)
+		}
+	}
+}
+
+func TestMixedEndsOrder(t *testing.T) {
+	d := New[int](0)
+	d.PushBack(2)
+	d.PushFront(1)
+	d.PushBack(3)
+	d.PushFront(0)
+	want := []int{0, 1, 2, 3}
+	got := d.Slice()
+	if len(got) != len(want) {
+		t.Fatalf("Slice len = %d, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Slice[%d] = %d, want %d", i, got[i], want[i])
+		}
+	}
+}
+
+func TestFrontBackAt(t *testing.T) {
+	d := New[int](0)
+	if _, ok := d.Front(); ok {
+		t.Fatal("Front on empty should report false")
+	}
+	if _, ok := d.Back(); ok {
+		t.Fatal("Back on empty should report false")
+	}
+	for i := 10; i < 20; i++ {
+		d.PushBack(i)
+	}
+	if v, _ := d.Front(); v != 10 {
+		t.Fatalf("Front = %d, want 10", v)
+	}
+	if v, _ := d.Back(); v != 19 {
+		t.Fatalf("Back = %d, want 19", v)
+	}
+	for i := 0; i < 10; i++ {
+		if v := d.At(i); v != 10+i {
+			t.Fatalf("At(%d) = %d, want %d", i, v, 10+i)
+		}
+	}
+}
+
+func TestAtPanicsOutOfRange(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("At out of range should panic")
+		}
+	}()
+	d := New[int](0)
+	d.PushBack(1)
+	d.At(1)
+}
+
+func TestClearKeepsUsable(t *testing.T) {
+	d := New[int](0)
+	for i := 0; i < 30; i++ {
+		d.PushBack(i)
+	}
+	d.Clear()
+	if !d.Empty() {
+		t.Fatal("Clear should empty the deque")
+	}
+	d.PushFront(7)
+	if v, _ := d.Back(); v != 7 {
+		t.Fatalf("Back after Clear = %d, want 7", v)
+	}
+}
+
+func TestGrowShrinkWrapAround(t *testing.T) {
+	d := New[int](0)
+	// Force head to move so pushes wrap around the ring.
+	for i := 0; i < 6; i++ {
+		d.PushBack(i)
+	}
+	for i := 0; i < 4; i++ {
+		d.PopFront()
+	}
+	for i := 6; i < 200; i++ {
+		d.PushBack(i)
+	}
+	for want := 4; want < 200; want++ {
+		v, ok := d.PopFront()
+		if !ok || v != want {
+			t.Fatalf("PopFront = %v,%v, want %d,true", v, ok, want)
+		}
+	}
+}
+
+// TestQuickAgainstSlice drives the deque with a random operation sequence and
+// checks it against a plain-slice reference implementation.
+func TestQuickAgainstSlice(t *testing.T) {
+	f := func(ops []uint8) bool {
+		d := New[int](0)
+		var ref []int
+		next := 0
+		for _, op := range ops {
+			switch op % 4 {
+			case 0:
+				d.PushBack(next)
+				ref = append(ref, next)
+				next++
+			case 1:
+				d.PushFront(next)
+				ref = append([]int{next}, ref...)
+				next++
+			case 2:
+				v, ok := d.PopFront()
+				if len(ref) == 0 {
+					if ok {
+						return false
+					}
+				} else {
+					if !ok || v != ref[0] {
+						return false
+					}
+					ref = ref[1:]
+				}
+			case 3:
+				v, ok := d.PopBack()
+				if len(ref) == 0 {
+					if ok {
+						return false
+					}
+				} else {
+					if !ok || v != ref[len(ref)-1] {
+						return false
+					}
+					ref = ref[:len(ref)-1]
+				}
+			}
+			if d.Len() != len(ref) {
+				return false
+			}
+		}
+		got := d.Slice()
+		for i := range ref {
+			if got[i] != ref[i] {
+				return false
+			}
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 200, Rand: rand.New(rand.NewSource(1))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkPushPopBack(b *testing.B) {
+	d := New[int](1024)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		d.PushBack(i)
+		d.PopBack()
+	}
+}
+
+func BenchmarkPushBackPopFront(b *testing.B) {
+	d := New[int](1024)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		d.PushBack(i)
+		d.PopFront()
+	}
+}

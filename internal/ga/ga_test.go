@@ -1,0 +1,184 @@
+package ga
+
+import (
+	"math"
+	"sync/atomic"
+	"testing"
+)
+
+// valley is a smooth objective with a single minimum at m.
+func valley(m int) func(int) float64 {
+	return func(i int) float64 {
+		d := float64(i - m)
+		return 1 + d*d
+	}
+}
+
+func TestExhaustiveSmallRange(t *testing.T) {
+	opt := DefaultOptions()
+	res := Minimize(20, valley(13), opt) // 20 <= 2*16
+	if !res.Exhaustive {
+		t.Fatal("small range should use exhaustive search")
+	}
+	if res.BestIndex != 13 || res.Evaluations != 20 {
+		t.Fatalf("best=%d evals=%d", res.BestIndex, res.Evaluations)
+	}
+	if res.Generations != 0 {
+		t.Fatal("exhaustive path should report zero generations")
+	}
+}
+
+func TestGAFindsValley(t *testing.T) {
+	opt := DefaultOptions()
+	opt.MaxGenerations = 60
+	res := Minimize(4096, valley(1234), opt)
+	if res.Exhaustive {
+		t.Fatal("large range must use the GA")
+	}
+	// The GA must land close to the optimum (approximation, not exactness).
+	if math.Abs(float64(res.BestIndex-1234)) > 200 {
+		t.Fatalf("best index %d too far from optimum 1234 (value %g)", res.BestIndex, res.BestValue)
+	}
+	if res.Evaluations >= 4096/2 {
+		t.Fatalf("GA evaluated %d of 4096 — no better than exhaustive", res.Evaluations)
+	}
+	if res.Generations == 0 {
+		t.Fatal("GA should report generations")
+	}
+}
+
+func TestApproximationStopsEarly(t *testing.T) {
+	// A plateau objective: everything equally good. CV of top-n is 0, so
+	// the approximation rule must fire on the first possible generation.
+	opt := DefaultOptions()
+	opt.MaxGenerations = 64
+	res := Minimize(4096, func(i int) float64 { return 5 }, opt)
+	if res.Generations > 3 {
+		t.Fatalf("plateau should stop almost immediately, ran %d generations", res.Generations)
+	}
+}
+
+func TestApproximationThresholdDisabled(t *testing.T) {
+	// CVThreshold 0 never fires; the GA runs to MaxGenerations.
+	opt := DefaultOptions()
+	opt.CVThreshold = 0
+	opt.MaxGenerations = 7
+	res := Minimize(4096, valley(99), opt)
+	if res.Generations != 7 {
+		t.Fatalf("generations = %d, want full 7", res.Generations)
+	}
+}
+
+func TestInvalidCandidatesSkipped(t *testing.T) {
+	// Half the range is invalid (+Inf); the GA must still find the valid
+	// minimum.
+	eval := func(i int) float64 {
+		if i%2 == 1 {
+			return math.Inf(1)
+		}
+		return valley(500)(i)
+	}
+	opt := DefaultOptions()
+	opt.MaxGenerations = 60
+	res := Minimize(2048, eval, opt)
+	if res.BestIndex%2 == 1 {
+		t.Fatal("GA returned an invalid candidate")
+	}
+	if math.Abs(float64(res.BestIndex-500)) > 250 {
+		t.Fatalf("best %d too far from 500", res.BestIndex)
+	}
+}
+
+func TestDeterministicForSeed(t *testing.T) {
+	opt := DefaultOptions()
+	opt.MaxGenerations = 20
+	a := Minimize(4096, valley(777), opt)
+	b := Minimize(4096, valley(777), opt)
+	if a.BestIndex != b.BestIndex || a.Evaluations != b.Evaluations || a.Generations != b.Generations {
+		t.Fatalf("same seed diverged: %+v vs %+v", a, b)
+	}
+	opt.Seed = 999
+	c := Minimize(4096, valley(777), opt)
+	if c.Evaluations == a.Evaluations && c.BestIndex == a.BestIndex && c.Generations == a.Generations {
+		t.Log("different seed produced identical run (possible but unlikely)")
+	}
+}
+
+func TestMemoizationCountsDistinct(t *testing.T) {
+	var calls int64
+	eval := func(i int) float64 {
+		atomic.AddInt64(&calls, 1)
+		return valley(100)(i)
+	}
+	opt := DefaultOptions()
+	opt.MaxGenerations = 30
+	res := Minimize(1024, eval, opt)
+	if int64(res.Evaluations) != atomic.LoadInt64(&calls) {
+		t.Fatalf("eval called %d times but %d distinct evaluations reported — memoization broken",
+			calls, res.Evaluations)
+	}
+}
+
+func TestZeroAndNegativeCount(t *testing.T) {
+	res := Minimize(0, valley(0), DefaultOptions())
+	if res.BestIndex != -1 || !math.IsInf(res.BestValue, 1) {
+		t.Fatalf("count 0 → %+v", res)
+	}
+	res = Minimize(-5, valley(0), DefaultOptions())
+	if res.BestIndex != -1 {
+		t.Fatalf("negative count → %+v", res)
+	}
+}
+
+func TestSingleCandidate(t *testing.T) {
+	res := Minimize(1, func(i int) float64 { return 3.5 }, DefaultOptions())
+	if res.BestIndex != 0 || res.BestValue != 3.5 || res.Evaluations != 1 {
+		t.Fatalf("%+v", res)
+	}
+}
+
+func TestDegenerateOptionsFallBack(t *testing.T) {
+	opt := DefaultOptions()
+	opt.SubPopulations = 0
+	res := Minimize(5000, valley(42), opt)
+	if !res.Exhaustive || res.BestIndex != 42 {
+		t.Fatalf("degenerate options should fall back to exhaustive: %+v", res)
+	}
+}
+
+func TestRuggedMultimodal(t *testing.T) {
+	// Many local minima; global at 3072. The GA with mutation should not
+	// get stuck at a terrible local optimum: require landing within the
+	// best 5% of values.
+	eval := func(i int) float64 {
+		x := float64(i)
+		return 10 + 5*math.Sin(x/37) + 3*math.Sin(x/101) + math.Abs(x-3072)/512
+	}
+	opt := DefaultOptions()
+	opt.MaxGenerations = 64
+	res := Minimize(4096, eval, opt)
+
+	// Compute the exact 5th percentile by scanning.
+	vals := make([]float64, 4096)
+	for i := range vals {
+		vals[i] = eval(i)
+	}
+	best := vals[0]
+	for _, v := range vals {
+		if v < best {
+			best = v
+		}
+	}
+	if res.BestValue > best*1.25 {
+		t.Fatalf("GA best %.3f vs global %.3f — stuck in a poor local optimum", res.BestValue, best)
+	}
+}
+
+func BenchmarkMinimize4096(b *testing.B) {
+	opt := DefaultOptions()
+	opt.MaxGenerations = 16
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = Minimize(4096, valley(1234), opt)
+	}
+}

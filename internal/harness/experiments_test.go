@@ -1,0 +1,143 @@
+package harness
+
+import (
+	"bytes"
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/stencil"
+)
+
+// tinyOptions shrinks every protocol knob so the full figure generators run
+// end-to-end in seconds.
+func tinyOptions() Options {
+	o := DefaultOptions()
+	o.Stencils = []*stencil.Stencil{stencil.J3D7PT()}
+	o.DatasetSize = 48
+	o.Repeats = 1
+	o.Iterations = 3
+	o.BudgetS = 20
+	return o
+}
+
+func TestFig8EndToEnd(t *testing.T) {
+	var buf bytes.Buffer
+	o := tinyOptions()
+	o.ArtifactDir = t.TempDir()
+	if err := Fig8(&buf, o); err != nil {
+		t.Fatal(err)
+	}
+	// Artifact files must exist and be non-trivial.
+	for _, name := range []string{"fig8_j3d7pt.svg", "fig8_j3d7pt.csv"} {
+		fi, err := os.Stat(filepath.Join(o.ArtifactDir, name))
+		if err != nil || fi.Size() < 100 {
+			t.Fatalf("artifact %s missing or empty: %v", name, err)
+		}
+	}
+	out := buf.String()
+	for _, m := range []string{"cstuner", "garvey", "opentuner", "artemis"} {
+		if !strings.Contains(out, m) {
+			t.Fatalf("Fig8 output missing %s:\n%s", m, out)
+		}
+	}
+	if !strings.Contains(out, "## Fig8 j3d7pt") {
+		t.Fatal("missing stencil header")
+	}
+}
+
+func TestFig9EndToEnd(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Fig9(&buf, tinyOptions()); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "## Fig9 j3d7pt") {
+		t.Fatalf("Fig9 output malformed:\n%s", buf.String())
+	}
+}
+
+func TestFig10EndToEnd(t *testing.T) {
+	var buf bytes.Buffer
+	rows, err := Fig10(&buf, tinyOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 1 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	// Garvey normalizes to itself.
+	if g := rows[0].Norm["garvey"]; math.Abs(g-1) > 1e-9 {
+		t.Fatalf("garvey norm = %v, want 1", g)
+	}
+	for _, m := range []string{"cstuner", "opentuner", "artemis"} {
+		v, ok := rows[0].Norm[m]
+		if !ok || v <= 0 || math.IsInf(v, 0) || math.IsNaN(v) {
+			t.Fatalf("norm[%s] = %v", m, v)
+		}
+	}
+	if !strings.Contains(buf.String(), "mean csTuner speedup") {
+		t.Fatal("missing summary line")
+	}
+}
+
+func TestFig11EndToEnd(t *testing.T) {
+	var buf bytes.Buffer
+	rows, err := Fig11(&buf, tinyOptions(), []float64{0.05, 0.25})
+	if err != nil {
+		t.Fatal(err)
+	}
+	series, ok := rows["j3d7pt"]
+	if !ok || len(series) != 2 {
+		t.Fatalf("rows = %v", rows)
+	}
+	for _, v := range series {
+		if v <= 0 || math.IsNaN(v) {
+			t.Fatalf("ratio series = %v", series)
+		}
+	}
+}
+
+func TestMotivationFiguresEndToEnd(t *testing.T) {
+	var buf bytes.Buffer
+	if err := MotivationFigures(&buf, tinyOptions(), 200); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"Fig2 j3d7pt", "Fig3 j3d7pt", "Fig4 j3d7pt", "Fig2 mean", "paper:"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("motivation output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestAblationEndToEnd(t *testing.T) {
+	var buf bytes.Buffer
+	rows, err := Ablation(&buf, tinyOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 { // one stencil × four variants
+		t.Fatalf("rows = %d", len(rows))
+	}
+	variants := map[string]bool{}
+	for _, r := range rows {
+		if r.BestMS <= 0 {
+			t.Fatalf("variant %s has no result", r.Variant)
+		}
+		variants[r.Variant] = true
+	}
+	for _, want := range []string{"full", "no-grouping", "no-approximation", "wide-sampling"} {
+		if !variants[want] {
+			t.Fatalf("missing variant %s", want)
+		}
+	}
+}
+
+func TestQuickOptionsSane(t *testing.T) {
+	o := QuickOptions()
+	if len(o.Stencils) == 0 || o.Repeats < 1 || o.BudgetS <= 0 {
+		t.Fatalf("QuickOptions degenerate: %+v", o)
+	}
+}

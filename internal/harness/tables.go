@@ -1,0 +1,48 @@
+package harness
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/space"
+	"repro/internal/stencil"
+)
+
+// Table1 prints the parameterized optimization space (paper Table I) as
+// realized for a given stencil — ranges that depend on the grid extent are
+// shown with that stencil's bounds.
+func Table1(w io.Writer, st *stencil.Stencil) error {
+	sp, err := space.New(st)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "## Table I: parameterized optimization space (%s, %dx%dx%d)\n",
+		st.Name, st.NX, st.NY, st.NZ)
+	fmt.Fprintf(w, "%-16s %-6s %s\n", "Parameter", "Kind", "Range")
+	for _, p := range sp.Params {
+		kind := map[space.Kind]string{
+			space.KindPow2: "pow2", space.KindBool: "bool", space.KindEnum: "enum",
+		}[p.Kind]
+		lo, hi := p.Values[0], p.Values[len(p.Values)-1]
+		var rng string
+		if p.Kind == space.KindPow2 {
+			rng = fmt.Sprintf("[%d, %d] (%d values)", lo, hi, len(p.Values))
+		} else {
+			rng = fmt.Sprintf("%v", p.Values)
+		}
+		fmt.Fprintf(w, "%-16s %-6s %s\n", p.Name, kind, rng)
+	}
+	fmt.Fprintf(w, "unconstrained cartesian size: %.3g settings (paper: >100 million)\n",
+		sp.SizeUpperBound())
+	return nil
+}
+
+// Table3 prints the evaluated stencils (paper Table III).
+func Table3(w io.Writer) {
+	fmt.Fprintf(w, "## Table III: stencils used for evaluation\n")
+	fmt.Fprintf(w, "%-11s %-15s %-6s %-8s %s\n", "Stencil", "Input Grid", "Order", "# FLOPs", "# I/O Arrays")
+	for _, st := range stencil.Suite() {
+		fmt.Fprintf(w, "%-11s %dx%dx%d     %-6d %-8d %d\n",
+			st.Name, st.NX, st.NY, st.NZ, st.Order, st.FLOPs, st.Inputs+st.Outputs)
+	}
+}

@@ -1,0 +1,181 @@
+package kernel
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/space"
+)
+
+// EmitCUDA renders the kernel as CUDA-C source text. This is the
+// code-generation stage of the pipeline ("the code generation writes the
+// sampled parameter settings into CUDA kernels", paper Sec. V-F): its output
+// is what a GPU toolchain would compile, and its cost is charged to the
+// pre-processing overhead that Fig. 12 breaks down. The text is also a
+// human-auditable record of exactly which transformation each parameter
+// performs.
+func (k *Kernel) EmitCUDA() string {
+	st := k.Stencil
+	s := k.Setting
+	var b strings.Builder
+
+	fmt.Fprintf(&b, "// %s: auto-generated stencil kernel\n", st.Name)
+	fmt.Fprintf(&b, "// setting: %s\n", s.String())
+	fmt.Fprintf(&b, "// regs/thread (est) %d, smem/block %dB, grid %d blocks x %d threads\n\n",
+		k.RegsPerThread, k.SharedPerBlock, k.GridBlocks, k.ThreadsPerBlock)
+
+	fmt.Fprintf(&b, "#define NX %d\n#define NY %d\n#define NZ %d\n", st.NX, st.NY, st.NZ)
+	fmt.Fprintf(&b, "#define TBX %d\n#define TBY %d\n#define TBZ %d\n",
+		s[space.TBX], s[space.TBY], s[space.TBZ])
+	fmt.Fprintf(&b, "#define IDX(x,y,z) (((z)+%d)*((NY)+%d)*((NX)+%d) + ((y)+%d)*((NX)+%d) + ((x)+%d))\n\n",
+		st.Order, 2*st.Order, 2*st.Order, st.Order, 2*st.Order, st.Order)
+
+	if k.UsesConstant {
+		fmt.Fprintf(&b, "__constant__ double c_coeff[%d];\n\n", st.Coeffs)
+	}
+
+	// Kernel signature: one pointer per I/O array.
+	params := make([]string, 0, st.Inputs+st.Outputs)
+	for i := 0; i < st.Inputs; i++ {
+		params = append(params, fmt.Sprintf("const double* __restrict__ in%d", i))
+	}
+	for i := 0; i < st.Outputs; i++ {
+		params = append(params, fmt.Sprintf("double* __restrict__ out%d", i))
+	}
+	fmt.Fprintf(&b, "__global__ void __launch_bounds__(%d)\n%s_kernel(%s) {\n",
+		k.ThreadsPerBlock, st.Name, strings.Join(params, ", "))
+
+	if k.UsesShared {
+		fmt.Fprintf(&b, "  extern __shared__ double smem[]; // %dB staged tile + halo\n", k.SharedPerBlock)
+	}
+
+	// Global thread coordinates.
+	b.WriteString("  const int tx = blockIdx.x * TBX + threadIdx.x;\n")
+	b.WriteString("  const int ty = blockIdx.y * TBY + threadIdx.y;\n")
+	if k.Streaming {
+		fmt.Fprintf(&b, "  // 2.5-D streaming along %s: %d concurrent tiles of %d points\n",
+			dimName(k.SDim), k.SBTiles, k.TileLen)
+		fmt.Fprintf(&b, "  const int tile = blockIdx.z;           // concurrent-streaming tile (SB=%d)\n", k.SBTiles)
+		fmt.Fprintf(&b, "  const int tile_lo = tile * %d;\n", k.TileLen)
+	} else {
+		b.WriteString("  const int tz = blockIdx.z * TBZ + threadIdx.z;\n")
+	}
+	b.WriteString("\n")
+
+	emitMergeLoops(&b, k)
+	b.WriteString("}\n")
+	return b.String()
+}
+
+func dimName(d int) string {
+	switch d {
+	case 1:
+		return "x"
+	case 2:
+		return "y"
+	case 3:
+		return "z"
+	}
+	return "?"
+}
+
+// emitMergeLoops renders the cyclic/adjacent merge structure and the fully
+// unrolled tap accumulation.
+func emitMergeLoops(b *strings.Builder, k *Kernel) {
+	st := k.Stencil
+	s := k.Setting
+
+	indent := "  "
+	if k.Streaming {
+		fmt.Fprintf(b, "%sfor (int it = 0; it < %d; ++it) { // serial streaming steps\n",
+			indent, k.IterationsPerBlock)
+		indent += "  "
+		if k.Prefetch {
+			fmt.Fprintf(b, "%s// prefetch: next-plane loads issued before the current FMAs retire\n", indent)
+			fmt.Fprintf(b, "%sdouble pf[%d];\n", indent, starArrays(st)*2)
+		}
+	}
+	// Cyclic merge loops (unrolled by the generator).
+	for d, cm := range []int{k.CycX, k.CycY, k.CycZ} {
+		if cm > 1 {
+			fmt.Fprintf(b, "%s#pragma unroll\n%sfor (int c%s = 0; c%s < %d; ++c%s) { // cyclic merge\n",
+				indent, indent, dimName(d+1), dimName(d+1), cm, dimName(d+1))
+			indent += "  "
+		}
+	}
+	// Adjacent (unroll x block-merge) loops.
+	adj := []struct {
+		n    int
+		name string
+	}{{k.AdjX, "x"}, {k.AdjY, "y"}, {k.AdjZ, "z"}}
+	for _, a := range adj {
+		if a.n > 1 {
+			fmt.Fprintf(b, "%s#pragma unroll %d\n%sfor (int u%s = 0; u%s < %d; ++u%s) {\n",
+				indent, a.n, indent, a.name, a.name, a.n, a.name)
+			indent += "  "
+		}
+	}
+
+	if k.UsesShared {
+		fmt.Fprintf(b, "%s// cooperative tile staging\n%s__syncthreads();\n", indent, indent)
+	}
+
+	// Tap accumulation (shown per output array; retiming reorders the
+	// accumulation into homogenized sub-sums).
+	if k.Retiming {
+		fmt.Fprintf(b, "%s// retiming: accumulation split into %d homogenized sub-computations\n",
+			indent, st.Order+1)
+	}
+	fmt.Fprintf(b, "%sdouble acc = 0.0;\n", indent)
+	limit := len(st.Taps)
+	shown := limit
+	if shown > 6 {
+		shown = 6
+	}
+	for i := 0; i < shown; i++ {
+		t := st.Taps[i]
+		src := fmt.Sprintf("in%d[IDX(x%+d, y%+d, z%+d)]", t.Array, t.DX, t.DY, t.DZ)
+		if k.UsesShared && i > 0 {
+			src = fmt.Sprintf("smem[SIDX(%+d,%+d,%+d)]", t.DX, t.DY, t.DZ)
+		}
+		coeff := fmt.Sprintf("%g", t.Coeff)
+		if k.UsesConstant {
+			coeff = fmt.Sprintf("c_coeff[%d]", i%max(1, st.Coeffs))
+		}
+		fmt.Fprintf(b, "%sacc += %s * %s;\n", indent, coeff, src)
+	}
+	if limit > shown {
+		fmt.Fprintf(b, "%s/* ... %d more taps elided ... */\n", indent, limit-shown)
+	}
+	for o := 0; o < st.Outputs; o++ {
+		fmt.Fprintf(b, "%sout%d[IDX(x, y, z)] = acc * %g;\n", indent, o, 1.0+0.5*float64(o))
+	}
+
+	// Close all opened loops.
+	opens := 0
+	if k.Streaming {
+		opens++
+	}
+	for _, cm := range []int{k.CycX, k.CycY, k.CycZ} {
+		if cm > 1 {
+			opens++
+		}
+	}
+	for _, a := range []int{k.AdjX, k.AdjY, k.AdjZ} {
+		if a > 1 {
+			opens++
+		}
+	}
+	for i := 0; i < opens; i++ {
+		indent = indent[:len(indent)-2]
+		fmt.Fprintf(b, "%s}\n", indent)
+	}
+	_ = s
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

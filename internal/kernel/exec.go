@@ -1,0 +1,129 @@
+package kernel
+
+import (
+	"fmt"
+
+	"repro/internal/space"
+	"repro/internal/stencil"
+)
+
+// Execute walks the kernel's *transformed* iteration space on the CPU —
+// blocks, threads, cyclic copies, adjacent clusters, and serial streaming
+// steps in exactly the order the generated CUDA kernel would — and computes
+// every interior point with the shared arithmetic kernel
+// stencil.PointValue. Comparing the result against the naive stencil.Apply
+// sweep proves the geometry of a parameter setting is semantics-preserving.
+//
+// The grids may be smaller than the stencil's nominal extent (tests shrink
+// them); geometry is recomputed for the actual extent. A count grid tracks
+// write multiplicity so tests can also assert exactly-once coverage.
+func Execute(k *Kernel, inputs, outputs []*stencil.Grid) (*stencil.Grid, error) {
+	st := k.Stencil
+	if len(inputs) < st.Inputs || len(outputs) < st.Outputs {
+		return nil, fmt.Errorf("kernel: need %d inputs and %d outputs, got %d/%d",
+			st.Inputs, st.Outputs, len(inputs), len(outputs))
+	}
+	nx, ny, nz := inputs[0].NX, inputs[0].NY, inputs[0].NZ
+	counts := stencil.NewGrid(nx, ny, nz, 0)
+
+	s := k.Setting
+	n := [3]int{nx, ny, nz}
+	tb := [3]int{s[space.TBX], s[space.TBY], s[space.TBZ]}
+	adj := [3]int{k.AdjX, k.AdjY, k.AdjZ}
+	cyc := [3]int{k.CycX, k.CycY, k.CycZ}
+
+	// Per-dimension index plans: for every dimension, the list of
+	// (thread-coordinate, point-index) coverage entries, precomputed so the
+	// triple loop below stays readable.
+	type dimPlan struct {
+		points [][]int // points[t] = global indices covered by thread-coordinate t
+	}
+	plans := [3]dimPlan{}
+	for d := 0; d < 3; d++ {
+		if k.Streaming && k.SDim == d+1 {
+			plans[d] = streamPlan(n[d], tb[d], adj[d], s[space.SB])
+		} else {
+			plans[d] = regularPlan(n[d], tb[d], adj[d], cyc[d])
+		}
+	}
+
+	for _, pz := range plans[2].points {
+		for _, py := range plans[1].points {
+			for _, px := range plans[0].points {
+				for _, z := range pz {
+					for _, y := range py {
+						for _, x := range px {
+							v := stencil.PointValue(st, inputs, x, y, z)
+							for kk := 0; kk < st.Outputs; kk++ {
+								outputs[kk].Set(x, y, z, v*stencil.OutputScale(kk))
+							}
+							counts.Set(x, y, z, counts.At(x, y, z)+1)
+						}
+					}
+				}
+			}
+		}
+	}
+	return counts, nil
+}
+
+// regularPlan enumerates, for a non-streamed dimension, the points each
+// thread coordinate covers: cyclic copies stride over the padded thread
+// count, adjacent clusters sit under each thread, out-of-range points are
+// guarded away.
+//
+//	p = (c*paddedThreads + t) * A + a
+func regularPlan(n, tbDim, a, c int) (pl struct{ points [][]int }) {
+	perThread := a * c
+	threads := ceilDiv(n, perThread)
+	blocks := ceilDiv(threads, tbDim)
+	padded := blocks * tbDim
+	pl.points = make([][]int, padded)
+	for t := 0; t < padded; t++ {
+		var pts []int
+		for cc := 0; cc < c; cc++ {
+			base := (cc*padded + t) * a
+			for aa := 0; aa < a; aa++ {
+				if p := base + aa; p < n {
+					pts = append(pts, p)
+				}
+			}
+		}
+		pl.points[t] = pts
+	}
+	return pl
+}
+
+// streamPlan enumerates, for the streamed dimension, the points covered by
+// each thread coordinate across every tile and serial iteration:
+//
+//	p = tile*L + (i*TB + t)*A + a
+//
+// The returned plan flattens (tile, thread) into coverage entries; the
+// serial iteration order is preserved inside each entry, which is all that
+// matters for coverage validation.
+func streamPlan(n, tbDim, a, sb int) (pl struct{ points [][]int }) {
+	tileLen := ceilDiv(n, sb)
+	step := tbDim * a
+	iters := ceilDiv(tileLen, step)
+	for tile := 0; tile < sb; tile++ {
+		lo := tile * tileLen
+		hi := lo + tileLen
+		if hi > n {
+			hi = n
+		}
+		for t := 0; t < tbDim; t++ {
+			var pts []int
+			for i := 0; i < iters; i++ {
+				base := lo + (i*tbDim+t)*a
+				for aa := 0; aa < a; aa++ {
+					if p := base + aa; p >= lo && p < hi {
+						pts = append(pts, p)
+					}
+				}
+			}
+			pl.points = append(pl.points, pts)
+		}
+	}
+	return pl
+}

@@ -1,0 +1,99 @@
+// Package mpi is a minimal channel-based message-passing layer standing in
+// for the MPI runtime the paper's multi-process genetic algorithm uses
+// (Sec. IV-E, Fig. 6). Ranks run as goroutines; point-to-point Send/Recv
+// pairs are buffered channels; the single-ring topology helpers mirror the
+// migration pattern of Xiao et al. that the paper adopts.
+package mpi
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Comm is a communicator over a fixed number of ranks.
+type Comm struct {
+	size  int
+	links [][]chan interface{} // links[from][to]
+}
+
+// ErrClosed is returned when communicating on a finalized communicator.
+var ErrClosed = errors.New("mpi: communicator finalized")
+
+// New creates a communicator with n ranks and per-link buffering. A buffer
+// of a few messages keeps lock-step exchange patterns (everyone sends, then
+// everyone receives) deadlock-free.
+func New(n int) (*Comm, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("mpi: invalid communicator size %d", n)
+	}
+	c := &Comm{size: n, links: make([][]chan interface{}, n)}
+	for i := 0; i < n; i++ {
+		c.links[i] = make([]chan interface{}, n)
+		for j := 0; j < n; j++ {
+			c.links[i][j] = make(chan interface{}, 4)
+		}
+	}
+	return c, nil
+}
+
+// Size returns the number of ranks.
+func (c *Comm) Size() int { return c.size }
+
+// Send delivers msg from rank `from` to rank `to`. It blocks only when the
+// link buffer is full.
+func (c *Comm) Send(from, to int, msg interface{}) error {
+	if err := c.check(from, to); err != nil {
+		return err
+	}
+	c.links[from][to] <- msg
+	return nil
+}
+
+// Recv blocks until a message from rank `from` arrives at rank `to`.
+func (c *Comm) Recv(to, from int) (interface{}, error) {
+	if err := c.check(from, to); err != nil {
+		return nil, err
+	}
+	msg, ok := <-c.links[from][to]
+	if !ok {
+		return nil, ErrClosed
+	}
+	return msg, nil
+}
+
+func (c *Comm) check(a, b int) error {
+	if a < 0 || a >= c.size || b < 0 || b >= c.size {
+		return fmt.Errorf("mpi: rank out of range (%d,%d) with size %d", a, b, c.size)
+	}
+	return nil
+}
+
+// Left returns the ring-left neighbour of rank r.
+func (c *Comm) Left(r int) int { return (r - 1 + c.size) % c.size }
+
+// Right returns the ring-right neighbour of rank r.
+func (c *Comm) Right(r int) int { return (r + 1) % c.size }
+
+// RingExchange sends msg to both ring neighbours of rank r and returns the
+// two messages received from them (left, right). With size 1 it returns the
+// rank's own message twice, mimicking MPI self-sends on a trivial ring.
+func (c *Comm) RingExchange(r int, msg interface{}) (left, right interface{}, err error) {
+	if c.size == 1 {
+		return msg, msg, nil
+	}
+	if err := c.Send(r, c.Left(r), msg); err != nil {
+		return nil, nil, err
+	}
+	if err := c.Send(r, c.Right(r), msg); err != nil {
+		return nil, nil, err
+	}
+	left, err = c.Recv(r, c.Left(r))
+	if err != nil {
+		return nil, nil, err
+	}
+	right, err = c.Recv(r, c.Right(r))
+	if err != nil {
+		return nil, nil, err
+	}
+	return left, right, nil
+}

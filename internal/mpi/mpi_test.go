@@ -1,0 +1,107 @@
+package mpi
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(0); err == nil {
+		t.Fatal("size 0 should error")
+	}
+	c, err := New(3)
+	if err != nil || c.Size() != 3 {
+		t.Fatalf("New(3) = %v, %v", c, err)
+	}
+}
+
+func TestSendRecv(t *testing.T) {
+	c, _ := New(2)
+	if err := c.Send(0, 1, "hi"); err != nil {
+		t.Fatal(err)
+	}
+	msg, err := c.Recv(1, 0)
+	if err != nil || msg.(string) != "hi" {
+		t.Fatalf("Recv = %v, %v", msg, err)
+	}
+}
+
+func TestRankBounds(t *testing.T) {
+	c, _ := New(2)
+	if err := c.Send(0, 5, nil); err == nil {
+		t.Fatal("out-of-range destination should error")
+	}
+	if err := c.Send(-1, 0, nil); err == nil {
+		t.Fatal("out-of-range source should error")
+	}
+	if _, err := c.Recv(3, 0); err == nil {
+		t.Fatal("out-of-range receiver should error")
+	}
+}
+
+func TestRingNeighbours(t *testing.T) {
+	c, _ := New(4)
+	if c.Left(0) != 3 || c.Right(3) != 0 || c.Left(2) != 1 || c.Right(1) != 2 {
+		t.Fatal("ring arithmetic wrong")
+	}
+}
+
+func TestRingExchangeSingle(t *testing.T) {
+	c, _ := New(1)
+	l, r, err := c.RingExchange(0, 42)
+	if err != nil || l.(int) != 42 || r.(int) != 42 {
+		t.Fatalf("self ring = %v %v %v", l, r, err)
+	}
+}
+
+func TestRingExchangeConcurrent(t *testing.T) {
+	const n = 5
+	c, _ := New(n)
+	got := make([][2]int, n)
+	var wg sync.WaitGroup
+	for r := 0; r < n; r++ {
+		wg.Add(1)
+		go func(rank int) {
+			defer wg.Done()
+			l, rt, err := c.RingExchange(rank, rank)
+			if err != nil {
+				t.Errorf("rank %d: %v", rank, err)
+				return
+			}
+			got[rank] = [2]int{l.(int), rt.(int)}
+		}(r)
+	}
+	wg.Wait()
+	for rank := 0; rank < n; rank++ {
+		wantL := (rank - 1 + n) % n
+		wantR := (rank + 1) % n
+		if got[rank][0] != wantL || got[rank][1] != wantR {
+			t.Fatalf("rank %d received %v, want [%d %d]", rank, got[rank], wantL, wantR)
+		}
+	}
+}
+
+func TestRingExchangeTwoRanksRepeated(t *testing.T) {
+	// With two ranks, left == right; repeated generations must not deadlock.
+	c, _ := New(2)
+	var wg sync.WaitGroup
+	for r := 0; r < 2; r++ {
+		wg.Add(1)
+		go func(rank int) {
+			defer wg.Done()
+			for gen := 0; gen < 50; gen++ {
+				l, rt, err := c.RingExchange(rank, rank*100+gen)
+				if err != nil {
+					t.Errorf("rank %d gen %d: %v", rank, gen, err)
+					return
+				}
+				other := (1 - rank) * 100
+				if l.(int)-other != gen || rt.(int)-other != gen {
+					t.Errorf("rank %d gen %d: got %v/%v", rank, gen, l, rt)
+					return
+				}
+			}
+		}(r)
+	}
+	wg.Wait()
+}

@@ -1,0 +1,246 @@
+// Package plot renders the experiment harness's result series as
+// self-contained SVG line charts and CSV tables, so `cmd/experiments` can
+// emit paper-style figure artifacts without any dependency. The visual
+// style mirrors the paper's plots: one line per auto-tuning method,
+// iterations or seconds on the x-axis, best-found kernel time on the y-axis.
+package plot
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Series is one named line.
+type Series struct {
+	Name   string
+	Values []float64 // NaN values break the line (paper's "missing points")
+}
+
+// Chart is one figure.
+type Chart struct {
+	Title  string
+	XLabel string
+	YLabel string
+	// X holds the x-coordinates shared by all series; when nil, indices
+	// 1..n are used.
+	X      []float64
+	Series []Series
+}
+
+// palette: distinguishable line colors (method order is stable, so csTuner
+// is always the first color).
+var palette = []string{"#1b6ca8", "#d1495b", "#66a182", "#edae49", "#8d6a9f", "#3d3d3d"}
+
+// WriteSVG renders the chart as a standalone SVG document.
+func (c *Chart) WriteSVG(w io.Writer) error {
+	const (
+		width, height = 640, 400
+		left, right   = 70, 150
+		top, bottom   = 50, 50
+	)
+	plotW := float64(width - left - right)
+	plotH := float64(height - top - bottom)
+
+	xs := c.xCoords()
+	xmin, xmax := bounds(xs)
+	ymin, ymax := c.yBounds()
+	if xmax == xmin {
+		xmax = xmin + 1
+	}
+	if ymax == ymin {
+		ymax = ymin + 1
+	}
+	// Pad the y range 5% for readability.
+	pad := (ymax - ymin) * 0.05
+	ymin -= pad
+	ymax += pad
+
+	px := func(x float64) float64 { return float64(left) + (x-xmin)/(xmax-xmin)*plotW }
+	py := func(y float64) float64 { return float64(top) + (1-(y-ymin)/(ymax-ymin))*plotH }
+
+	var b strings.Builder
+	fmt.Fprintf(&b, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" font-family="sans-serif">`+"\n", width, height)
+	fmt.Fprintf(&b, `<rect width="%d" height="%d" fill="white"/>`+"\n", width, height)
+	fmt.Fprintf(&b, `<text x="%d" y="24" font-size="15" font-weight="bold">%s</text>`+"\n", left, escape(c.Title))
+
+	// Axes.
+	fmt.Fprintf(&b, `<line x1="%d" y1="%d" x2="%d" y2="%d" stroke="black"/>`+"\n",
+		left, top, left, height-bottom)
+	fmt.Fprintf(&b, `<line x1="%d" y1="%d" x2="%d" y2="%d" stroke="black"/>`+"\n",
+		left, height-bottom, width-right, height-bottom)
+	fmt.Fprintf(&b, `<text x="%d" y="%d" font-size="12">%s</text>`+"\n",
+		left+int(plotW)/2-30, height-12, escape(c.XLabel))
+	fmt.Fprintf(&b, `<text x="16" y="%d" font-size="12" transform="rotate(-90 16 %d)">%s</text>`+"\n",
+		top+int(plotH)/2+30, top+int(plotH)/2+30, escape(c.YLabel))
+
+	// Ticks: 5 per axis.
+	for i := 0; i <= 4; i++ {
+		xv := xmin + (xmax-xmin)*float64(i)/4
+		yv := ymin + (ymax-ymin)*float64(i)/4
+		fmt.Fprintf(&b, `<line x1="%.1f" y1="%d" x2="%.1f" y2="%d" stroke="black"/>`+"\n",
+			px(xv), height-bottom, px(xv), height-bottom+5)
+		fmt.Fprintf(&b, `<text x="%.1f" y="%d" font-size="10" text-anchor="middle">%s</text>`+"\n",
+			px(xv), height-bottom+18, formatTick(xv))
+		fmt.Fprintf(&b, `<line x1="%d" y1="%.1f" x2="%d" y2="%.1f" stroke="black"/>`+"\n",
+			left-5, py(yv), left, py(yv))
+		fmt.Fprintf(&b, `<text x="%d" y="%.1f" font-size="10" text-anchor="end">%s</text>`+"\n",
+			left-8, py(yv)+4, formatTick(yv))
+	}
+
+	// Series.
+	for si, s := range c.Series {
+		color := palette[si%len(palette)]
+		var path strings.Builder
+		pen := false
+		for i, v := range s.Values {
+			if i >= len(xs) {
+				break
+			}
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				pen = false
+				continue
+			}
+			cmd := "L"
+			if !pen {
+				cmd = "M"
+				pen = true
+			}
+			fmt.Fprintf(&path, "%s%.1f %.1f ", cmd, px(xs[i]), py(v))
+		}
+		if path.Len() > 0 {
+			fmt.Fprintf(&b, `<path d="%s" fill="none" stroke="%s" stroke-width="2"/>`+"\n",
+				strings.TrimSpace(path.String()), color)
+		}
+		// Legend entry.
+		ly := top + 10 + si*18
+		fmt.Fprintf(&b, `<line x1="%d" y1="%d" x2="%d" y2="%d" stroke="%s" stroke-width="2"/>`+"\n",
+			width-right+10, ly, width-right+34, ly, color)
+		fmt.Fprintf(&b, `<text x="%d" y="%d" font-size="11">%s</text>`+"\n",
+			width-right+40, ly+4, escape(s.Name))
+	}
+
+	b.WriteString("</svg>\n")
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// WriteCSV renders the chart data as a CSV table: first column x, one column
+// per series.
+func (c *Chart) WriteCSV(w io.Writer) error {
+	xs := c.xCoords()
+	header := []string{csvField(c.XLabel)}
+	for _, s := range c.Series {
+		header = append(header, csvField(s.Name))
+	}
+	if _, err := fmt.Fprintln(w, strings.Join(header, ",")); err != nil {
+		return err
+	}
+	n := 0
+	for _, s := range c.Series {
+		if len(s.Values) > n {
+			n = len(s.Values)
+		}
+	}
+	for i := 0; i < n && i < len(xs); i++ {
+		row := []string{fmt.Sprintf("%g", xs[i])}
+		for _, s := range c.Series {
+			if i < len(s.Values) && !math.IsNaN(s.Values[i]) {
+				row = append(row, fmt.Sprintf("%g", s.Values[i]))
+			} else {
+				row = append(row, "")
+			}
+		}
+		if _, err := fmt.Fprintln(w, strings.Join(row, ",")); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (c *Chart) xCoords() []float64 {
+	if len(c.X) > 0 {
+		return c.X
+	}
+	n := 0
+	for _, s := range c.Series {
+		if len(s.Values) > n {
+			n = len(s.Values)
+		}
+	}
+	xs := make([]float64, n)
+	for i := range xs {
+		xs[i] = float64(i + 1)
+	}
+	return xs
+}
+
+func (c *Chart) yBounds() (float64, float64) {
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, s := range c.Series {
+		for _, v := range s.Values {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				continue
+			}
+			lo = math.Min(lo, v)
+			hi = math.Max(hi, v)
+		}
+	}
+	if math.IsInf(lo, 1) {
+		return 0, 1
+	}
+	return lo, hi
+}
+
+func bounds(xs []float64) (float64, float64) {
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, v := range xs {
+		lo = math.Min(lo, v)
+		hi = math.Max(hi, v)
+	}
+	if math.IsInf(lo, 1) {
+		return 0, 1
+	}
+	return lo, hi
+}
+
+func formatTick(v float64) string {
+	av := math.Abs(v)
+	switch {
+	case av >= 100:
+		return fmt.Sprintf("%.0f", v)
+	case av >= 1:
+		return fmt.Sprintf("%.1f", v)
+	default:
+		return fmt.Sprintf("%.2f", v)
+	}
+}
+
+func escape(s string) string {
+	r := strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;", `"`, "&quot;")
+	return r.Replace(s)
+}
+
+func csvField(s string) string {
+	if strings.ContainsAny(s, ",\"\n") {
+		return `"` + strings.ReplaceAll(s, `"`, `""`) + `"`
+	}
+	return s
+}
+
+// SortedSeries returns chart series sorted by name — a helper for building
+// deterministic charts from maps.
+func SortedSeries(m map[string][]float64) []Series {
+	names := make([]string, 0, len(m))
+	for n := range m {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	out := make([]Series, 0, len(names))
+	for _, n := range names {
+		out = append(out, Series{Name: n, Values: m[n]})
+	}
+	return out
+}

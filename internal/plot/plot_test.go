@@ -1,0 +1,131 @@
+package plot
+
+import (
+	"bytes"
+	"encoding/xml"
+	"math"
+	"strings"
+	"testing"
+)
+
+func chart() *Chart {
+	return &Chart{
+		Title:  "Fig9 test <stencil>",
+		XLabel: "seconds",
+		YLabel: "best ms",
+		X:      []float64{10, 20, 30, 40},
+		Series: []Series{
+			{Name: "cstuner", Values: []float64{3, 2, 1.5, 1.4}},
+			{Name: "garvey", Values: []float64{4, 3.5, math.NaN(), 3.2}},
+		},
+	}
+}
+
+func TestWriteSVGWellFormed(t *testing.T) {
+	var buf bytes.Buffer
+	if err := chart().WriteSVG(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	// Must be parseable XML (escaping of the '<' in the title included).
+	dec := xml.NewDecoder(strings.NewReader(out))
+	for {
+		_, err := dec.Token()
+		if err != nil {
+			if err.Error() == "EOF" {
+				break
+			}
+			t.Fatalf("SVG is not well-formed XML: %v\n%s", err, out)
+		}
+	}
+	for _, want := range []string{"<svg", "cstuner", "garvey", "best ms", "seconds", "&lt;stencil&gt;"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("SVG missing %q", want)
+		}
+	}
+	// Two series → two colored paths.
+	if strings.Count(out, `<path`) != 2 {
+		t.Fatalf("expected 2 paths, got %d", strings.Count(out, "<path"))
+	}
+}
+
+func TestSVGBreaksLineAtNaN(t *testing.T) {
+	var buf bytes.Buffer
+	if err := chart().WriteSVG(&buf); err != nil {
+		t.Fatal(err)
+	}
+	// The garvey series has a NaN at index 2: its path must contain two
+	// M (move) commands — line break at the gap.
+	out := buf.String()
+	garveyPath := ""
+	for _, line := range strings.Split(out, "\n") {
+		if strings.Contains(line, "<path") && strings.Count(line, "M") == 2 {
+			garveyPath = line
+		}
+	}
+	if garveyPath == "" {
+		t.Fatalf("no path with a NaN break found:\n%s", out)
+	}
+}
+
+func TestWriteCSV(t *testing.T) {
+	var buf bytes.Buffer
+	if err := chart().WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 5 {
+		t.Fatalf("CSV lines = %d, want header+4", len(lines))
+	}
+	if lines[0] != "seconds,cstuner,garvey" {
+		t.Fatalf("header = %q", lines[0])
+	}
+	if lines[1] != "10,3,4" {
+		t.Fatalf("row 1 = %q", lines[1])
+	}
+	// NaN renders as an empty cell.
+	if lines[3] != "30,1.5," {
+		t.Fatalf("NaN row = %q", lines[3])
+	}
+}
+
+func TestCSVQuoting(t *testing.T) {
+	c := &Chart{
+		XLabel: `x,"label"`,
+		Series: []Series{{Name: "a", Values: []float64{1}}},
+	}
+	var buf bytes.Buffer
+	if err := c.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(buf.String(), `"x,""label""",a`) {
+		t.Fatalf("quoting wrong: %q", buf.String())
+	}
+}
+
+func TestDefaultXIndices(t *testing.T) {
+	c := &Chart{Series: []Series{{Name: "s", Values: []float64{5, 6, 7}}}}
+	xs := c.xCoords()
+	if len(xs) != 3 || xs[0] != 1 || xs[2] != 3 {
+		t.Fatalf("default xs = %v", xs)
+	}
+}
+
+func TestEmptyChartStillRenders(t *testing.T) {
+	c := &Chart{Title: "empty"}
+	var buf bytes.Buffer
+	if err := c.WriteSVG(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSortedSeries(t *testing.T) {
+	m := map[string][]float64{"b": {2}, "a": {1}}
+	s := SortedSeries(m)
+	if len(s) != 2 || s[0].Name != "a" || s[1].Name != "b" {
+		t.Fatalf("SortedSeries = %v", s)
+	}
+}

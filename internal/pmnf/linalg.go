@@ -1,0 +1,84 @@
+package pmnf
+
+import (
+	"errors"
+	"math"
+)
+
+// lstsq solves min ‖Xβ−y‖₂ via the regularized normal equations
+// (XᵀX + λI)β = Xᵀy with Gaussian elimination and partial pivoting. The tiny
+// ridge λ keeps rank-deficient designs (e.g. a constant feature column when
+// every sampled value of a group is identical) solvable without special
+// casing; its bias is far below measurement noise.
+func lstsq(x [][]float64, y []float64, ridge float64) ([]float64, error) {
+	n := len(x)
+	if n == 0 || n != len(y) {
+		return nil, errors.New("pmnf: empty or mismatched design matrix")
+	}
+	p := len(x[0])
+	if p == 0 {
+		return nil, errors.New("pmnf: zero features")
+	}
+	for _, row := range x {
+		if len(row) != p {
+			return nil, errors.New("pmnf: ragged design matrix")
+		}
+	}
+
+	// A = XᵀX + λI (p×p), b = Xᵀy.
+	a := make([][]float64, p)
+	b := make([]float64, p)
+	for i := 0; i < p; i++ {
+		a[i] = make([]float64, p)
+	}
+	for r := 0; r < n; r++ {
+		row := x[r]
+		for i := 0; i < p; i++ {
+			b[i] += row[i] * y[r]
+			for j := i; j < p; j++ {
+				a[i][j] += row[i] * row[j]
+			}
+		}
+	}
+	for i := 0; i < p; i++ {
+		a[i][i] += ridge
+		for j := 0; j < i; j++ {
+			a[i][j] = a[j][i]
+		}
+	}
+
+	// Gaussian elimination with partial pivoting.
+	for col := 0; col < p; col++ {
+		piv := col
+		for r := col + 1; r < p; r++ {
+			if math.Abs(a[r][col]) > math.Abs(a[piv][col]) {
+				piv = r
+			}
+		}
+		if math.Abs(a[piv][col]) < 1e-300 {
+			return nil, errors.New("pmnf: singular normal equations")
+		}
+		a[col], a[piv] = a[piv], a[col]
+		b[col], b[piv] = b[piv], b[col]
+		inv := 1 / a[col][col]
+		for r := col + 1; r < p; r++ {
+			f := a[r][col] * inv
+			if f == 0 {
+				continue
+			}
+			for c := col; c < p; c++ {
+				a[r][c] -= f * a[col][c]
+			}
+			b[r] -= f * b[col]
+		}
+	}
+	beta := make([]float64, p)
+	for i := p - 1; i >= 0; i-- {
+		s := b[i]
+		for j := i + 1; j < p; j++ {
+			s -= a[i][j] * beta[j]
+		}
+		beta[i] = s / a[i][i]
+	}
+	return beta, nil
+}

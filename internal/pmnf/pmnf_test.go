@@ -1,0 +1,224 @@
+package pmnf
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/gpu"
+	"repro/internal/sim"
+	"repro/internal/space"
+	"repro/internal/stencil"
+)
+
+func TestLstsqExact(t *testing.T) {
+	// y = 3 + 2a - b, solvable exactly.
+	x := [][]float64{
+		{1, 1, 0}, {1, 2, 1}, {1, 3, 2}, {1, 0, 5}, {1, 4, 4},
+	}
+	y := make([]float64, len(x))
+	for i, r := range x {
+		y[i] = 3 + 2*r[1] - r[2]
+	}
+	beta, err := lstsq(x, y, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{3, 2, -1}
+	for i := range want {
+		if math.Abs(beta[i]-want[i]) > 1e-9 {
+			t.Fatalf("beta = %v, want %v", beta, want)
+		}
+	}
+}
+
+func TestLstsqOverdetermined(t *testing.T) {
+	// Noisy line: slope must come out close.
+	rng := rand.New(rand.NewSource(5))
+	var x [][]float64
+	var y []float64
+	for i := 0; i < 200; i++ {
+		v := rng.Float64() * 10
+		x = append(x, []float64{1, v})
+		y = append(y, 1.5+0.7*v+0.01*(rng.Float64()-0.5))
+	}
+	beta, err := lstsq(x, y, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(beta[0]-1.5) > 0.05 || math.Abs(beta[1]-0.7) > 0.01 {
+		t.Fatalf("beta = %v", beta)
+	}
+}
+
+func TestLstsqDegenerate(t *testing.T) {
+	if _, err := lstsq(nil, nil, 0); err == nil {
+		t.Fatal("empty design should error")
+	}
+	if _, err := lstsq([][]float64{{}}, []float64{1}, 0); err == nil {
+		t.Fatal("zero features should error")
+	}
+	if _, err := lstsq([][]float64{{1, 2}, {1}}, []float64{1, 2}, 0); err == nil {
+		t.Fatal("ragged matrix should error")
+	}
+	// Perfectly collinear columns: ridge rescues the solve.
+	x := [][]float64{{1, 2, 4}, {1, 3, 6}, {1, 4, 8}}
+	if _, err := lstsq(x, []float64{1, 2, 3}, 1e-8); err != nil {
+		t.Fatalf("ridge should handle collinearity: %v", err)
+	}
+	// Without ridge, all-zero columns are singular.
+	z := [][]float64{{0, 0}, {0, 0}}
+	if _, err := lstsq(z, []float64{1, 2}, 0); err == nil {
+		t.Fatal("singular system without ridge should error")
+	}
+}
+
+// synthDataset builds a dataset whose target is an exact PMNF function, so
+// Fit must recover it with near-zero RSE and the right exponents.
+func synthDataset(t *testing.T, groups [][]int, i, j int, rng *rand.Rand) (*dataset.Dataset, []float64) {
+	t.Helper()
+	sp, err := space.New(stencil.J3D7PT())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds := &dataset.Dataset{Stencil: "synthetic"}
+	var target []float64
+	coefs := []float64{5, 2.0, -1.0, 0.5, 3, 1, 1, 1, 1, 1}
+	for n := 0; n < 96; n++ {
+		set := sp.Random(rng)
+		row := featureRow(set, groups, i, j)
+		y := 0.0
+		for k, f := range row {
+			y += coefs[k%len(coefs)] * f
+		}
+		ds.Samples = append(ds.Samples, dataset.Sample{Setting: set, TimeMS: 1})
+		target = append(target, y)
+	}
+	return ds, target
+}
+
+func TestFitRecoversSyntheticFunction(t *testing.T) {
+	groups := [][]int{{space.TBX, space.TBY}, {space.UFX}, {space.UseShared}}
+	// Cover the remaining parameters as singletons so groups partition the
+	// space is not required by Fit — it only reads the listed groups.
+	rng := rand.New(rand.NewSource(77))
+	for _, exp := range []struct{ i, j int }{{1, 0}, {2, 0}, {1, 1}, {0, 1}} {
+		ds, target := synthDataset(t, groups, exp.i, exp.j, rng)
+		m, err := Fit(ds, groups, target, nil, nil)
+		if err != nil {
+			t.Fatalf("(i=%d,j=%d): %v", exp.i, exp.j, err)
+		}
+		if m.I != exp.i || m.J != exp.j {
+			t.Errorf("recovered (i=%d,j=%d), want (%d,%d); RSE=%g", m.I, m.J, exp.i, exp.j, m.RSE)
+		}
+		if m.RSE > 1e-6*math.Max(1, math.Abs(target[0])) {
+			t.Errorf("(i=%d,j=%d): RSE %g not near zero", exp.i, exp.j, m.RSE)
+		}
+	}
+}
+
+func TestPredictMatchesTraining(t *testing.T) {
+	groups := [][]int{{space.TBX}, {space.UFY, space.BMY}}
+	rng := rand.New(rand.NewSource(13))
+	ds, target := synthDataset(t, groups, 1, 1, rng)
+	m, err := Fit(ds, groups, target, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := 0; k < 10; k++ {
+		got := m.Predict(ds.Samples[k].Setting)
+		if math.Abs(got-target[k]) > 1e-6*(1+math.Abs(target[k])) {
+			t.Fatalf("Predict[%d] = %v, want %v", k, got, target[k])
+		}
+	}
+}
+
+func TestFitOnSimulatorMetrics(t *testing.T) {
+	// End-to-end: fit occupancy from a real simulated dataset; the model
+	// must beat the trivial constant predictor.
+	sp, err := space.New(stencil.Helmholtz())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := sim.New(sp, gpu.A100())
+	ds, err := dataset.Collect(s, rand.New(rand.NewSource(31)), 96, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	groups := [][]int{
+		{space.TBX, space.TBY, space.TBZ},
+		{space.UFX, space.BMX},
+		{space.UFY, space.BMY},
+		{space.UFZ, space.BMZ},
+		{space.UseShared, space.UseStreaming},
+		{space.SB, space.SD},
+		{space.CMX, space.CMY, space.CMZ},
+		{space.UseConstant}, {space.UseRetiming}, {space.UsePrefetching},
+	}
+	col, err := ds.MetricColumn("sm__occupancy_achieved")
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := Fit(ds, groups, col, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Constant-predictor RSE = stddev-ish; the fit must improve on it.
+	mean := 0.0
+	for _, v := range col {
+		mean += v
+	}
+	mean /= float64(len(col))
+	rss := 0.0
+	for _, v := range col {
+		rss += (v - mean) * (v - mean)
+	}
+	constRSE := math.Sqrt(rss / float64(len(col)-1))
+	if m.RSE >= constRSE {
+		t.Fatalf("PMNF RSE %g no better than constant predictor %g", m.RSE, constRSE)
+	}
+}
+
+func TestFitErrors(t *testing.T) {
+	sp, _ := space.New(stencil.J3D7PT())
+	ds := &dataset.Dataset{}
+	if _, err := Fit(ds, [][]int{{0}}, nil, nil, nil); err == nil {
+		t.Fatal("empty dataset should error")
+	}
+	rng := rand.New(rand.NewSource(1))
+	ds.Samples = append(ds.Samples, dataset.Sample{Setting: sp.Random(rng), TimeMS: 1})
+	if _, err := Fit(ds, [][]int{{0}}, []float64{1, 2}, nil, nil); err == nil {
+		t.Fatal("target length mismatch should error")
+	}
+}
+
+func TestModelString(t *testing.T) {
+	m := &Model{I: 2, J: 1, Groups: [][]int{{0}}, RSE: 0.5}
+	if s := m.String(); s == "" {
+		t.Fatal("empty String")
+	}
+}
+
+func BenchmarkFit(b *testing.B) {
+	sp, err := space.New(stencil.Cheby())
+	if err != nil {
+		b.Fatal(err)
+	}
+	s := sim.New(sp, gpu.A100())
+	ds, err := dataset.Collect(s, rand.New(rand.NewSource(1)), 128, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	groups := [][]int{
+		{space.TBX, space.TBY}, {space.UFX, space.BMX}, {space.UseShared, space.UseStreaming},
+	}
+	times := ds.Times()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Fit(ds, groups, times, nil, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,210 @@
+// Package sampling implements csTuner's search-space sampling stage (paper
+// Sec. IV-D/IV-E): the fitted PMNF models predict the selected GPU metrics
+// for a large pool of candidate settings, settings whose predictions fall on
+// the slow side of the metric thresholds are filtered out, and the surviving
+// fraction (the sampling ratio) becomes the sampled search space. The valid
+// value tuples of every parameter group are then re-indexed into dense
+// integer ranges for the genetic algorithm's binary genes (paper Fig. 7).
+package sampling
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/dataset"
+	"repro/internal/metrics"
+	"repro/internal/pmnf"
+	"repro/internal/space"
+	"repro/internal/stats"
+)
+
+// Config controls sampled-space construction.
+type Config struct {
+	// Ratio is the fraction of the candidate pool kept (paper default 10%).
+	Ratio float64
+	// PoolSize is the number of candidate settings scored (dataset samples
+	// are always included on top). Default 4096.
+	PoolSize int
+	// Prefilter, when set, rejects candidates before scoring — csTuner
+	// plugs in the implicit resource-constraint check here ("csTuner
+	// checks the above constraints before generating the search codes so
+	// that only non-spilled parameter settings are explored", Sec. IV-B).
+	Prefilter func(space.Setting) bool
+}
+
+// DefaultConfig mirrors the paper's evaluation setup.
+func DefaultConfig() Config { return Config{Ratio: 0.10, PoolSize: 4096} }
+
+// Sampled is the narrowed search space.
+type Sampled struct {
+	// Settings are the surviving candidates, best predicted score first.
+	Settings []space.Setting
+	// Groups is the parameter grouping the space was built around.
+	Groups [][]int
+	// Values[g] lists the distinct value tuples of group g present in the
+	// sampled space, sorted ascending — the re-indexed gene range [0, len).
+	Values [][][]int
+}
+
+// Build scores a candidate pool with the per-metric PMNF models and keeps
+// the best cfg.Ratio fraction.
+//
+// Each selected metric contributes sign(TimePCC)·zscore(prediction) to a
+// setting's score: a metric positively correlated with time votes against
+// settings predicted to raise it, and vice versa. Keeping the lowest-scored
+// fraction is equivalent to the paper's per-metric thresholds with the
+// thresholds set at the ratio quantile of the combined evidence.
+func Build(ds *dataset.Dataset, sp *space.Space, groups [][]int,
+	selected []metrics.Selected, models map[string]*pmnf.Model,
+	rng space.RNG, cfg Config) (*Sampled, error) {
+
+	if cfg.Ratio <= 0 || cfg.Ratio > 1 {
+		return nil, fmt.Errorf("sampling: ratio %v outside (0,1]", cfg.Ratio)
+	}
+	if cfg.PoolSize <= 0 {
+		cfg.PoolSize = 4096
+	}
+	if len(selected) == 0 {
+		return nil, errors.New("sampling: no selected metrics")
+	}
+	for _, sel := range selected {
+		if models[sel.Name] == nil {
+			return nil, fmt.Errorf("sampling: no model for metric %q", sel.Name)
+		}
+	}
+
+	// Candidate pool: the measured dataset settings plus fresh random
+	// valid settings, deduplicated.
+	pool := make([]space.Setting, 0, cfg.PoolSize+len(ds.Samples))
+	seen := map[string]struct{}{}
+	add := func(s space.Setting) {
+		k := s.Key()
+		if _, dup := seen[k]; !dup {
+			seen[k] = struct{}{}
+			pool = append(pool, s)
+		}
+	}
+	for _, s := range ds.Samples {
+		add(s.Setting) // measured settings passed every constraint already
+	}
+	for tries := 0; len(pool) < cfg.PoolSize+len(ds.Samples) && tries < 50*cfg.PoolSize; tries++ {
+		cand := sp.Random(rng)
+		if cfg.Prefilter != nil && !cfg.Prefilter(cand) {
+			continue
+		}
+		add(cand)
+	}
+
+	// Score: z-scored model predictions, signed by time correlation.
+	score := make([]float64, len(pool))
+	for _, sel := range selected {
+		m := models[sel.Name]
+		preds := make([]float64, len(pool))
+		for i, s := range pool {
+			preds[i] = m.Predict(s)
+		}
+		mu, _ := stats.Mean(preds)
+		sd, _ := stats.StdDev(preds)
+		if sd == 0 {
+			continue // uninformative model: no vote
+		}
+		// Each metric votes with the sign and the strength of its time
+		// correlation: a near-perfect time proxy dominates, a weakly
+		// correlated cache metric only nudges.
+		weight := sel.TimePCC
+		for i := range pool {
+			score[i] += weight * (preds[i] - mu) / sd
+		}
+	}
+
+	order := make([]int, len(pool))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool { return score[order[a]] < score[order[b]] })
+
+	keep := int(math.Ceil(cfg.Ratio * float64(len(pool))))
+	if keep < 1 {
+		keep = 1
+	}
+	if keep > len(pool) {
+		keep = len(pool)
+	}
+	out := &Sampled{Groups: groups}
+	for _, i := range order[:keep] {
+		out.Settings = append(out.Settings, pool[i])
+	}
+	out.reindex()
+	return out, nil
+}
+
+// FromSettings builds a Sampled directly from explicit settings (tests and
+// the degenerate no-model path use this).
+func FromSettings(settings []space.Setting, groups [][]int) *Sampled {
+	s := &Sampled{Settings: settings, Groups: groups}
+	s.reindex()
+	return s
+}
+
+// reindex computes Values: the sorted distinct tuples per group.
+func (s *Sampled) reindex() {
+	s.Values = make([][][]int, len(s.Groups))
+	for gi, g := range s.Groups {
+		seen := map[string][]int{}
+		for _, set := range s.Settings {
+			tuple := make([]int, len(g))
+			for i, p := range g {
+				tuple[i] = set[p]
+			}
+			seen[tupleKey(tuple)] = tuple
+		}
+		tuples := make([][]int, 0, len(seen))
+		for _, t := range seen {
+			tuples = append(tuples, t)
+		}
+		sort.Slice(tuples, func(a, b int) bool { return lessTuple(tuples[a], tuples[b]) })
+		s.Values[gi] = tuples
+	}
+}
+
+func tupleKey(t []int) string {
+	k := ""
+	for _, v := range t {
+		k += fmt.Sprintf("%d,", v)
+	}
+	return k
+}
+
+func lessTuple(a, b []int) bool {
+	for i := range a {
+		if a[i] != b[i] {
+			return a[i] < b[i]
+		}
+	}
+	return false
+}
+
+// Apply writes group gi's tupleIdx-th value tuple into the setting in place.
+func (s *Sampled) Apply(set space.Setting, gi, tupleIdx int) error {
+	if gi < 0 || gi >= len(s.Groups) {
+		return fmt.Errorf("sampling: group %d out of range", gi)
+	}
+	tuples := s.Values[gi]
+	if tupleIdx < 0 || tupleIdx >= len(tuples) {
+		return fmt.Errorf("sampling: tuple %d out of range for group %d (have %d)", tupleIdx, gi, len(tuples))
+	}
+	for i, p := range s.Groups[gi] {
+		set[p] = tuples[tupleIdx][i]
+	}
+	return nil
+}
+
+// Best returns the first (best-predicted) setting of the sampled space.
+func (s *Sampled) Best() (space.Setting, error) {
+	if len(s.Settings) == 0 {
+		return nil, errors.New("sampling: empty sampled space")
+	}
+	return s.Settings[0].Clone(), nil
+}

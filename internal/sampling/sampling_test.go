@@ -1,0 +1,184 @@
+package sampling
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/gpu"
+	"repro/internal/grouping"
+	"repro/internal/metrics"
+	"repro/internal/pmnf"
+	"repro/internal/sim"
+	"repro/internal/space"
+	"repro/internal/stencil"
+)
+
+// pipelineTo builds everything sampling needs from a real simulated dataset.
+func pipelineTo(t *testing.T) (*dataset.Dataset, *space.Space, [][]int, []metrics.Selected, map[string]*pmnf.Model, *sim.Simulator) {
+	t.Helper()
+	sp, err := space.New(stencil.Helmholtz())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := sim.New(sp, gpu.A100())
+	ds, err := dataset.Collect(s, rand.New(rand.NewSource(41)), 96, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	groups := grouping.Groups(grouping.PairCVs(ds, sp), 4)
+	if err := grouping.Validate(groups); err != nil {
+		t.Fatal(err)
+	}
+	pairs, err := metrics.PairPCCs(ds, sim.MetricNames())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sel, err := metrics.Select(ds, metrics.Combine(pairs, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	models := map[string]*pmnf.Model{}
+	for _, m := range sel {
+		col, err := ds.MetricColumn(m.Name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fit, err := pmnf.Fit(ds, groups, col, nil, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		models[m.Name] = fit
+	}
+	return ds, sp, groups, sel, models, s
+}
+
+func TestBuildRespectsRatio(t *testing.T) {
+	ds, sp, groups, sel, models, _ := pipelineTo(t)
+	cfg := Config{Ratio: 0.1, PoolSize: 1000}
+	rng := rand.New(rand.NewSource(5))
+	s, err := Build(ds, sp, groups, sel, models, rng, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	poolWithDS := 1000 + len(ds.Samples)
+	if len(s.Settings) < poolWithDS/10-5 || len(s.Settings) > poolWithDS/10+20 {
+		t.Fatalf("kept %d settings of ~%d pool at 10%%", len(s.Settings), poolWithDS)
+	}
+	// All kept settings are explicitly valid.
+	for _, set := range s.Settings {
+		if err := sp.Validate(set); err != nil {
+			t.Fatalf("sampled invalid setting: %v", err)
+		}
+	}
+}
+
+// TestSamplingImprovesQuality is the stage's raison d'être: the mean measured
+// time of the kept fraction must beat the mean of a random sample.
+func TestSamplingImprovesQuality(t *testing.T) {
+	ds, sp, groups, sel, models, simulator := pipelineTo(t)
+	rng := rand.New(rand.NewSource(6))
+	s, err := Build(ds, sp, groups, sel, models, rng, Config{Ratio: 0.1, PoolSize: 600})
+	if err != nil {
+		t.Fatal(err)
+	}
+	meanOf := func(sets []space.Setting) (float64, int) {
+		total, n := 0.0, 0
+		for _, set := range sets {
+			if ms, err := simulator.Measure(set); err == nil {
+				total += ms
+				n++
+			}
+		}
+		return total / float64(n), n
+	}
+	keptMean, kn := meanOf(s.Settings)
+	var randomSets []space.Setting
+	for i := 0; i < len(s.Settings); i++ {
+		randomSets = append(randomSets, sp.Random(rng))
+	}
+	randMean, rn := meanOf(randomSets)
+	if kn == 0 || rn == 0 {
+		t.Fatal("no measurable settings")
+	}
+	if keptMean >= randMean {
+		t.Fatalf("sampled settings (mean %.3f ms over %d) no better than random (mean %.3f ms over %d)",
+			keptMean, kn, randMean, rn)
+	}
+}
+
+func TestBuildArgumentValidation(t *testing.T) {
+	ds, sp, groups, sel, models, _ := pipelineTo(t)
+	rng := rand.New(rand.NewSource(7))
+	if _, err := Build(ds, sp, groups, sel, models, rng, Config{Ratio: 0}); err == nil {
+		t.Fatal("ratio 0 should error")
+	}
+	if _, err := Build(ds, sp, groups, sel, models, rng, Config{Ratio: 1.5}); err == nil {
+		t.Fatal("ratio >1 should error")
+	}
+	if _, err := Build(ds, sp, groups, nil, models, rng, Config{Ratio: 0.1}); err == nil {
+		t.Fatal("no selected metrics should error")
+	}
+	if _, err := Build(ds, sp, groups, sel, map[string]*pmnf.Model{}, rng, Config{Ratio: 0.1}); err == nil {
+		t.Fatal("missing model should error")
+	}
+}
+
+func TestReindexAndApply(t *testing.T) {
+	sp, err := space.New(stencil.J3D7PT())
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := sp.Default()
+	b := sp.Default()
+	b[space.TBX], b[space.TBY] = 128, 2
+	c := sp.Default()
+	c[space.TBX], c[space.TBY] = 32, 8
+	groups := [][]int{{space.TBX, space.TBY}, {space.UseShared}}
+	s := FromSettings([]space.Setting{a, b, c, a /*dup*/}, groups)
+
+	if len(s.Values[0]) != 3 {
+		t.Fatalf("group 0 has %d tuples, want 3 (dedup)", len(s.Values[0]))
+	}
+	if len(s.Values[1]) != 1 {
+		t.Fatalf("group 1 has %d tuples, want 1", len(s.Values[1]))
+	}
+	// Tuples sorted ascending lexicographically.
+	for i := 1; i < len(s.Values[0]); i++ {
+		if !lessTuple(s.Values[0][i-1], s.Values[0][i]) {
+			t.Fatal("tuples not sorted")
+		}
+	}
+	// Apply writes the tuple into a setting.
+	target := sp.Default()
+	if err := s.Apply(target, 0, 1); err != nil {
+		t.Fatal(err)
+	}
+	if target[space.TBX] != s.Values[0][1][0] || target[space.TBY] != s.Values[0][1][1] {
+		t.Fatal("Apply wrote wrong values")
+	}
+	if err := s.Apply(target, 0, 99); err == nil {
+		t.Fatal("out-of-range tuple should error")
+	}
+	if err := s.Apply(target, 5, 0); err == nil {
+		t.Fatal("out-of-range group should error")
+	}
+}
+
+func TestBest(t *testing.T) {
+	sp, _ := space.New(stencil.J3D7PT())
+	s := FromSettings(nil, [][]int{{0}})
+	if _, err := s.Best(); err == nil {
+		t.Fatal("empty sampled space should error")
+	}
+	s = FromSettings([]space.Setting{sp.Default()}, [][]int{{0}})
+	b, err := s.Best()
+	if err != nil || !b.Equal(sp.Default()) {
+		t.Fatalf("Best = %v, %v", b, err)
+	}
+	// Best must be a copy.
+	b[space.TBX] = 1
+	if s.Settings[0][space.TBX] == 1 {
+		t.Fatal("Best aliases stored setting")
+	}
+}

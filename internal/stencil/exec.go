@@ -1,0 +1,118 @@
+package stencil
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+)
+
+// Apply performs one naive sweep of the stencil over the given input grids,
+// writing every output grid, parallelized over Z-slabs with worker
+// goroutines. It is the correctness oracle against which transformed kernel
+// iteration orders are validated.
+//
+// Inputs must supply at least s.Inputs grids and outputs at least s.Outputs;
+// all grids must share the stencil's extent and carry a halo >= s.Order.
+// workers <= 0 selects GOMAXPROCS.
+func Apply(s *Stencil, inputs, outputs []*Grid, workers int) error {
+	if err := s.Validate(); err != nil {
+		return err
+	}
+	if len(inputs) < s.Inputs {
+		return fmt.Errorf("stencil %s: need %d input grids, got %d", s.Name, s.Inputs, len(inputs))
+	}
+	if len(outputs) < s.Outputs {
+		return fmt.Errorf("stencil %s: need %d output grids, got %d", s.Name, s.Outputs, len(outputs))
+	}
+	for i, g := range append(append([]*Grid{}, inputs[:s.Inputs]...), outputs[:s.Outputs]...) {
+		if g.NX != s.NX || g.NY != s.NY || g.NZ != s.NZ {
+			return fmt.Errorf("stencil %s: grid %d extent %dx%dx%d does not match stencil %dx%dx%d",
+				s.Name, i, g.NX, g.NY, g.NZ, s.NX, s.NY, s.NZ)
+		}
+		if g.Halo < s.Order {
+			return fmt.Errorf("stencil %s: grid %d halo %d < order %d", s.Name, i, g.Halo, s.Order)
+		}
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > s.NZ {
+		workers = s.NZ
+	}
+
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		z0 := w * s.NZ / workers
+		z1 := (w + 1) * s.NZ / workers
+		wg.Add(1)
+		go func(z0, z1 int) {
+			defer wg.Done()
+			sweepSlab(s, inputs, outputs, z0, z1)
+		}(z0, z1)
+	}
+	wg.Wait()
+	return nil
+}
+
+// sweepSlab computes outputs for z in [z0, z1).
+func sweepSlab(s *Stencil, inputs, outputs []*Grid, z0, z1 int) {
+	for z := z0; z < z1; z++ {
+		for y := 0; y < s.NY; y++ {
+			for x := 0; x < s.NX; x++ {
+				v := PointValue(s, inputs, x, y, z)
+				for k := 0; k < s.Outputs; k++ {
+					// Output arrays share the tap pattern; stagger them by a
+					// per-array scale so multi-output kernels are detectable.
+					outputs[k].Set(x, y, z, v*outputScale(k))
+				}
+			}
+		}
+	}
+}
+
+// PointValue computes the stencil value at one interior point. Transformed
+// executors (blocked, merged, streamed orders) call this same kernel so that
+// any numeric divergence isolates an iteration-space bug, not arithmetic.
+func PointValue(s *Stencil, inputs []*Grid, x, y, z int) float64 {
+	v := 0.0
+	for _, t := range s.Taps {
+		v += t.Coeff * inputs[t.Array].At(x+t.DX, y+t.DY, z+t.DZ)
+	}
+	return v
+}
+
+// outputScale staggers multiple output arrays of one stencil.
+func outputScale(k int) float64 { return 1.0 + 0.5*float64(k) }
+
+// OutputScale is exported for transformed executors in other packages.
+func OutputScale(k int) float64 { return outputScale(k) }
+
+// MakeGrids allocates input and output grids for s at a reduced extent
+// (nx, ny, nz) — tests use small grids while keeping the tap pattern — with
+// deterministic input contents. Passing the stencil's own extents gives the
+// full-size problem.
+func MakeGrids(s *Stencil, nx, ny, nz int) (inputs, outputs []*Grid) {
+	inputs = make([]*Grid, s.Inputs)
+	for a := range inputs {
+		g := NewGrid(nx, ny, nz, s.Order)
+		a := a
+		g.FillFunc(func(x, y, z int) float64 {
+			return float64((x*7+y*13+z*31+a*101)%97)/97.0 + 0.5
+		})
+		inputs[a] = g
+	}
+	outputs = make([]*Grid, s.Outputs)
+	for k := range outputs {
+		outputs[k] = NewGrid(nx, ny, nz, s.Order)
+	}
+	return inputs, outputs
+}
+
+// Shrink returns a copy of s with the grid extent reduced to nx×ny×nz,
+// used by tests and by iteration-order validation on small problems.
+func Shrink(s *Stencil, nx, ny, nz int) *Stencil {
+	c := *s
+	c.NX, c.NY, c.NZ = nx, ny, nz
+	c.Taps = append([]Tap(nil), s.Taps...)
+	return &c
+}

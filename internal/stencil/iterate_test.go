@@ -1,0 +1,87 @@
+package stencil
+
+import (
+	"math"
+	"testing"
+)
+
+func TestIterateMatchesManualLoop(t *testing.T) {
+	s := Shrink(J3D7PT(), 12, 12, 12)
+	in, out := MakeGrids(s, 12, 12, 12)
+	ref := in[0].Clone()
+
+	final, err := Iterate(s, in, out, 3, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Manual reference: three sweeps with explicit swapping.
+	cur := ref
+	nxt := NewGrid(12, 12, 12, s.Order)
+	for step := 0; step < 3; step++ {
+		refreshHalo(cur, s.Order)
+		if err := Apply(s, []*Grid{cur}, []*Grid{nxt}, 1); err != nil {
+			t.Fatal(err)
+		}
+		cur, nxt = nxt, cur
+	}
+	d, err := final.MaxAbsDiff(cur)
+	if err != nil || d > 1e-13 {
+		t.Fatalf("Iterate diverges from manual loop by %v (%v)", d, err)
+	}
+}
+
+func TestIterateSmoothing(t *testing.T) {
+	// The star kernel is an averaging operator with coefficient sum 1:
+	// iterating must contract the field's spread monotonically.
+	s := Shrink(J3D27PT(), 16, 16, 16)
+	in, out := MakeGrids(s, 16, 16, 16)
+
+	spread := func(g *Grid) float64 {
+		min, max := math.Inf(1), math.Inf(-1)
+		for z := 0; z < g.NZ; z++ {
+			for y := 0; y < g.NY; y++ {
+				for x := 0; x < g.NX; x++ {
+					v := g.At(x, y, z)
+					if v < min {
+						min = v
+					}
+					if v > max {
+						max = v
+					}
+				}
+			}
+		}
+		return max - min
+	}
+	before := spread(in[0])
+	final, err := Iterate(s, in, out, 5, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	after := spread(final)
+	if after >= before*0.8 {
+		t.Fatalf("smoothing did not contract: %v -> %v", before, after)
+	}
+}
+
+func TestIterateValidation(t *testing.T) {
+	s := Shrink(J3D7PT(), 8, 8, 8)
+	in, out := MakeGrids(s, 8, 8, 8)
+	if _, err := Iterate(s, in, out, 0, 1); err == nil {
+		t.Fatal("zero steps should error")
+	}
+}
+
+func TestRefreshHaloClamps(t *testing.T) {
+	g := NewGrid(3, 3, 3, 1)
+	g.FillFunc(func(x, y, z int) float64 { return 0 })
+	g.Set(0, 0, 0, 5)
+	refreshHalo(g, 1)
+	if g.At(-1, -1, -1) != 5 {
+		t.Fatalf("halo corner = %v, want clamped 5", g.At(-1, -1, -1))
+	}
+	if g.At(3, 1, 1) != g.At(2, 1, 1) {
+		t.Fatal("face halo not clamped to nearest interior")
+	}
+}

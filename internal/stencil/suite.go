@@ -1,0 +1,178 @@
+package stencil
+
+// This file constructs the eight benchmark stencils of Table III. The grid
+// extents, stencil order, per-point FLOPs and I/O array counts match the
+// paper exactly; the tap patterns are faithful reconstructions of the
+// corresponding SW4 / ExpCNS kernels' access shapes (star or box of the
+// given order across the given number of arrays), which is what both the
+// reference executor and the GPU model consume.
+
+// StarTaps returns the classic axis-aligned star of the given order reading
+// from array a: the centre plus `order` points in both directions along each
+// axis. Coefficients form a convergent smoothing kernel so iterated
+// reference sweeps stay numerically tame.
+func StarTaps(order, a int) []Tap {
+	taps := []Tap{{Array: a, Coeff: 0.5}}
+	n := 6 * order
+	w := 0.5 / float64(n)
+	for d := 1; d <= order; d++ {
+		taps = append(taps,
+			Tap{Array: a, DX: +d, Coeff: w}, Tap{Array: a, DX: -d, Coeff: w},
+			Tap{Array: a, DY: +d, Coeff: w}, Tap{Array: a, DY: -d, Coeff: w},
+			Tap{Array: a, DZ: +d, Coeff: w}, Tap{Array: a, DZ: -d, Coeff: w},
+		)
+	}
+	return taps
+}
+
+// BoxTaps returns the dense (2·order+1)³ box of the given order reading
+// from array a, with uniform averaged coefficients.
+func BoxTaps(order, a int) []Tap {
+	side := 2*order + 1
+	n := side * side * side
+	w := 1.0 / float64(n)
+	taps := make([]Tap, 0, n)
+	for z := -order; z <= order; z++ {
+		for y := -order; y <= order; y++ {
+			for x := -order; x <= order; x++ {
+				taps = append(taps, Tap{Array: a, DX: x, DY: y, DZ: z, Coeff: w})
+			}
+		}
+	}
+	return taps
+}
+
+// CenterTap returns a single centre-point read of array a.
+func CenterTap(a int, c float64) []Tap {
+	return []Tap{{Array: a, Coeff: c}}
+}
+
+// concat joins tap groups.
+func concat(groups ...[]Tap) []Tap {
+	var out []Tap
+	for _, g := range groups {
+		out = append(out, g...)
+	}
+	return out
+}
+
+// J3D7PT is the 7-point order-1 Jacobi stencil (512³, 10 FLOPs, 2 arrays).
+func J3D7PT() *Stencil {
+	return &Stencil{
+		Name: "j3d7pt", NX: 512, NY: 512, NZ: 512,
+		Order: 1, FLOPs: 10, Inputs: 1, Outputs: 1,
+		Taps: StarTaps(1, 0), Coeffs: 2,
+	}
+}
+
+// J3D27PT is the 27-point order-1 box Jacobi stencil (512³, 32 FLOPs, 2 arrays).
+func J3D27PT() *Stencil {
+	return &Stencil{
+		Name: "j3d27pt", NX: 512, NY: 512, NZ: 512,
+		Order: 1, FLOPs: 32, Inputs: 1, Outputs: 1,
+		Taps: BoxTaps(1, 0), Coeffs: 4,
+	}
+}
+
+// Helmholtz is the order-2 Helmholtz operator (512³, 17 FLOPs, 2 arrays).
+func Helmholtz() *Stencil {
+	return &Stencil{
+		Name: "helmholtz", NX: 512, NY: 512, NZ: 512,
+		Order: 2, FLOPs: 17, Inputs: 1, Outputs: 1,
+		Taps: StarTaps(2, 0), Coeffs: 5,
+	}
+}
+
+// Cheby is the Chebyshev smoother (512³, order 1, 38 FLOPs, 5 arrays:
+// 4 inputs — current, previous, rhs, diagonal — and 1 output).
+func Cheby() *Stencil {
+	return &Stencil{
+		Name: "cheby", NX: 512, NY: 512, NZ: 512,
+		Order: 1, FLOPs: 38, Inputs: 4, Outputs: 1,
+		Taps: concat(
+			StarTaps(1, 0),    // laplacian of the current iterate
+			CenterTap(1, 0.3), // previous iterate
+			CenterTap(2, 0.2), // right-hand side
+			CenterTap(3, 0.1), // inverse diagonal
+		),
+		Coeffs: 6,
+	}
+}
+
+// Hypterm is the compressible Navier-Stokes hyperbolic term from ExpCNS
+// (320³, order 4, 358 FLOPs, 13 arrays: 12 inputs, 1 output here mapped as
+// 9 inputs with wide stars + 3 centre reads + output).
+func Hypterm() *Stencil {
+	taps := concat(
+		StarTaps(4, 0), StarTaps(4, 1), StarTaps(4, 2), StarTaps(4, 3), // momenta/energy fluxes
+		CenterTap(4, 0.15), CenterTap(5, 0.15), CenterTap(6, 0.1),
+		CenterTap(7, 0.1), CenterTap(8, 0.1), CenterTap(9, 0.1),
+		CenterTap(10, 0.05), CenterTap(11, 0.05),
+	)
+	return &Stencil{
+		Name: "hypterm", NX: 320, NY: 320, NZ: 320,
+		Order: 4, FLOPs: 358, Inputs: 12, Outputs: 1,
+		Taps: taps, Coeffs: 16,
+	}
+}
+
+// AddSGD4 is the 4th-order SW4 seismic stress update (320³, order 2,
+// 373 FLOPs, 10 arrays: 7 inputs, 3 outputs).
+func AddSGD4() *Stencil {
+	taps := concat(
+		StarTaps(2, 0), StarTaps(2, 1), StarTaps(2, 2), // displacement components
+		CenterTap(3, 0.2), CenterTap(4, 0.2), CenterTap(5, 0.1), CenterTap(6, 0.1),
+	)
+	return &Stencil{
+		Name: "addsgd4", NX: 320, NY: 320, NZ: 320,
+		Order: 2, FLOPs: 373, Inputs: 7, Outputs: 3,
+		Taps: taps, Coeffs: 24,
+	}
+}
+
+// AddSGD6 is the 6th-order SW4 seismic stress update (320³, order 3,
+// 626 FLOPs, 10 arrays: 7 inputs, 3 outputs).
+func AddSGD6() *Stencil {
+	taps := concat(
+		StarTaps(3, 0), StarTaps(3, 1), StarTaps(3, 2),
+		CenterTap(3, 0.2), CenterTap(4, 0.2), CenterTap(5, 0.1), CenterTap(6, 0.1),
+	)
+	return &Stencil{
+		Name: "addsgd6", NX: 320, NY: 320, NZ: 320,
+		Order: 3, FLOPs: 626, Inputs: 7, Outputs: 3,
+		Taps: taps, Coeffs: 36,
+	}
+}
+
+// RHS4Center is the SW4 4th-order right-hand-side interior kernel (320³,
+// order 2, 666 FLOPs, 8 arrays: 5 inputs, 3 outputs).
+func RHS4Center() *Stencil {
+	taps := concat(
+		BoxTaps(2, 0), // mixed-derivative cross terms read a dense order-2 box
+		StarTaps(2, 1), StarTaps(2, 2),
+		CenterTap(3, 0.2), CenterTap(4, 0.2),
+	)
+	return &Stencil{
+		Name: "rhs4center", NX: 320, NY: 320, NZ: 320,
+		Order: 2, FLOPs: 666, Inputs: 5, Outputs: 3,
+		Taps: taps, Coeffs: 40,
+	}
+}
+
+// Suite returns the eight Table III stencils in paper order.
+func Suite() []*Stencil {
+	return []*Stencil{
+		J3D7PT(), J3D27PT(), Helmholtz(), Cheby(),
+		Hypterm(), AddSGD4(), AddSGD6(), RHS4Center(),
+	}
+}
+
+// ByName returns the suite stencil with the given name, or nil.
+func ByName(name string) *Stencil {
+	for _, s := range Suite() {
+		if s.Name == name {
+			return s
+		}
+	}
+	return nil
+}
