@@ -13,6 +13,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/cpu"
 	"repro/internal/dataset"
+	"repro/internal/engine"
 	"repro/internal/gemm"
 	"repro/internal/gpu"
 	"repro/internal/grouping"
@@ -148,16 +149,17 @@ func (s *Session) Tune(cfg Config) (*Report, error) {
 }
 
 // TuneWithBudget runs csTuner under a virtual auto-tuning budget (seconds of
-// compile+run time, as metered by the harness cost model). The offline
-// stencil dataset is collected unmetered, matching the paper's accounting
-// (metric collection is a one-time offline step, Sec. V-F).
+// compile+run time, as metered by the engine cost model). The offline
+// stencil dataset is collected unmetered through a throwaway engine,
+// matching the paper's accounting (metric collection is a one-time offline
+// step, Sec. V-F) and keeping the collection cache out of the budgeted run.
 func (s *Session) TuneWithBudget(cfg Config, budgetS float64) (*Report, error) {
-	ds, err := dataset.Collect(s.sim, rand.New(rand.NewSource(cfg.Seed)), cfg.DatasetSize, 0)
+	ds, err := dataset.CollectBatch(engine.New(s.sim), rand.New(rand.NewSource(cfg.Seed)), cfg.DatasetSize, 0)
 	if err != nil {
 		return nil, err
 	}
-	meter := harness.NewMeter(s.sim, harness.DefaultCostModel(), budgetS)
-	return core.Tune(meter, ds, cfg, meter.Exhausted)
+	eng := engine.New(s.sim, engine.WithCost(engine.DefaultCostModel()), engine.WithBudget(budgetS))
+	return core.Tune(eng, ds, cfg, eng.Exhausted)
 }
 
 // Comparator names accepted by RunComparator.
@@ -189,9 +191,9 @@ func (s *Session) RunComparator(method string, budgetS float64, seed int64) (Set
 	if err != nil {
 		return nil, 0, err
 	}
-	meter := harness.NewMeter(fx.Sim, harness.DefaultCostModel(), budgetS)
-	_, _, tuneErr := t.Tune(meter, fx.DS, seed, meter.Exhausted)
-	set, ms, ok := meter.Best()
+	eng := engine.New(fx.Sim, engine.WithCost(engine.DefaultCostModel()), engine.WithBudget(budgetS))
+	_, _, tuneErr := t.Tune(eng, fx.DS, seed, eng.Exhausted)
+	set, ms, ok := eng.Best()
 	if !ok {
 		if tuneErr != nil {
 			return nil, 0, tuneErr
@@ -211,16 +213,13 @@ type GEMM = gemm.Workload
 func NewGEMM(m, n, k int, arch *Arch) (*GEMM, error) { return gemm.New(m, n, k, arch) }
 
 // TuneGEMM runs the unmodified csTuner pipeline on a GEMM workload: the
-// offline dataset is collected from the workload's model, then grouping,
+// pipeline collects the offline dataset from the workload's own model (any
+// objective that can produce metric reports self-collects), then grouping,
 // metric combination, PMNF sampling and the per-group genetic search run
 // exactly as they do for stencils.
 func TuneGEMM(w *GEMM, cfg Config) (*Report, error) {
-	ds, err := dataset.Collect(w, rand.New(rand.NewSource(cfg.Seed)), cfg.DatasetSize, 0)
-	if err != nil {
-		return nil, err
-	}
 	cfg.EmitKernels = false // no CUDA emitter for the GEMM family
-	return core.Tune(w, ds, cfg, nil)
+	return core.Tune(w, nil, cfg, nil)
 }
 
 // CPUWorkload is an OpenMP-style stencil kernel on a multicore CPU — the
@@ -234,14 +233,11 @@ func XeonE52680v4() *cpu.Arch { return cpu.XeonE52680v4() }
 // NewCPUStencil builds a CPU tuning workload for the stencil.
 func NewCPUStencil(st *Stencil, arch *cpu.Arch) (*CPUWorkload, error) { return cpu.New(st, arch) }
 
-// TuneCPU runs the unmodified csTuner pipeline on a CPU stencil workload.
+// TuneCPU runs the unmodified csTuner pipeline on a CPU stencil workload,
+// self-collecting the offline dataset from the workload's model.
 func TuneCPU(w *CPUWorkload, cfg Config) (*Report, error) {
-	ds, err := dataset.Collect(w, rand.New(rand.NewSource(cfg.Seed)), cfg.DatasetSize, 0)
-	if err != nil {
-		return nil, err
-	}
 	cfg.EmitKernels = false // the CPU family has no CUDA emitter
-	return core.Tune(w, ds, cfg, nil)
+	return core.Tune(w, nil, cfg, nil)
 }
 
 // TemporalWorkload is a time-iterated stencil with AN5D-style temporal
@@ -257,14 +253,10 @@ func NewTemporal(st *Stencil, arch *Arch, totalSteps int) (*TemporalWorkload, er
 }
 
 // TuneTemporal runs the unmodified csTuner pipeline on a temporal-blocking
-// workload.
+// workload, self-collecting the offline dataset from the workload's model.
 func TuneTemporal(w *TemporalWorkload, cfg Config) (*Report, error) {
-	ds, err := dataset.Collect(w, rand.New(rand.NewSource(cfg.Seed)), cfg.DatasetSize, 0)
-	if err != nil {
-		return nil, err
-	}
 	cfg.EmitKernels = false
-	return core.Tune(w, ds, cfg, nil)
+	return core.Tune(w, nil, cfg, nil)
 }
 
 // FormatGroups renders a grouping (from Report.Groups) with parameter names.

@@ -1,0 +1,82 @@
+package cstuner
+
+import (
+	"fmt"
+	"testing"
+)
+
+// The engine refactor must not move a single measurement: these values were
+// captured from the pre-engine pipeline (inline caches + harness meter) at
+// fixed seeds. A diff here means the evaluation order or cache/budget
+// semantics changed — which is a correctness bug, not a tuning difference.
+const (
+	goldenTune = "TBx=64 TBy=8 TBz=1 useShared=2 useConstant=1 useStreaming=2 " +
+		"SD=3 SB=32 UFx=1 UFy=2 UFz=1 CMx=1 CMy=1 CMz=1 BMx=1 BMy=2 BMz=1 " +
+		"useRetiming=2 usePrefetching=2 bestms=1.3795474914"
+	goldenCsTuner = "TBx=64 TBy=4 TBz=1 useShared=1 useConstant=1 useStreaming=1 " +
+		"SD=1 SB=1 UFx=1 UFy=1 UFz=1 CMx=1 CMy=1 CMz=1 BMx=1 BMy=1 BMz=1 " +
+		"useRetiming=1 usePrefetching=1 bestms=1.8931377432"
+	goldenGarvey = "TBx=64 TBy=4 TBz=1 useShared=1 useConstant=1 useStreaming=1 " +
+		"SD=1 SB=1 UFx=1 UFy=1 UFz=1 CMx=1 CMy=1 CMz=1 BMx=1 BMy=1 BMz=1 " +
+		"useRetiming=1 usePrefetching=1 bestms=1.8931377432"
+	goldenOpenTuner = "TBx=32 TBy=1 TBz=1 useShared=2 useConstant=2 useStreaming=1 " +
+		"SD=1 SB=1 UFx=2 UFy=2 UFz=2 CMx=1 CMy=1 CMz=1 BMx=1 BMy=1 BMz=2 " +
+		"useRetiming=2 usePrefetching=1 bestms=1.5684872239"
+	goldenArtemis = "TBx=32 TBy=2 TBz=1 useShared=1 useConstant=1 useStreaming=2 " +
+		"SD=3 SB=32 UFx=1 UFy=1 UFz=1 CMx=1 CMy=1 CMz=1 BMx=1 BMy=1 BMz=1 " +
+		"useRetiming=1 usePrefetching=1 bestms=1.6727884550"
+)
+
+func goldenFmt(set Setting, ms float64) string {
+	return fmt.Sprintf("%v bestms=%.10f", set, ms)
+}
+
+func TestGoldenSessionTune(t *testing.T) {
+	run := func() string {
+		s, err := NewSessionFor("j3d7pt", "a100")
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg := DefaultConfig()
+		cfg.DatasetSize = 64
+		cfg.Seed = 7
+		cfg.EmitKernels = false
+		rep, err := s.Tune(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rep.Engine.Evaluations == 0 || len(rep.Spans) == 0 {
+			t.Fatal("report missing engine stats")
+		}
+		return goldenFmt(rep.Best, rep.BestMS)
+	}
+	got := run()
+	if got != goldenTune {
+		t.Fatalf("Session.Tune drifted from golden:\n got %s\nwant %s", got, goldenTune)
+	}
+	if again := run(); again != got {
+		t.Fatalf("Session.Tune nondeterministic:\n  1st %s\n  2nd %s", got, again)
+	}
+}
+
+func TestGoldenRunComparator(t *testing.T) {
+	want := map[string]string{
+		MethodCsTuner:   goldenCsTuner,
+		MethodGarvey:    goldenGarvey,
+		MethodOpenTuner: goldenOpenTuner,
+		MethodArtemis:   goldenArtemis,
+	}
+	s, err := NewSessionFor("j3d7pt", "a100")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, method := range []string{MethodCsTuner, MethodGarvey, MethodOpenTuner, MethodArtemis} {
+		set, ms, err := s.RunComparator(method, 40, 3)
+		if err != nil {
+			t.Fatalf("%s: %v", method, err)
+		}
+		if got := goldenFmt(set, ms); got != want[method] {
+			t.Fatalf("%s drifted from golden:\n got %s\nwant %s", method, got, want[method])
+		}
+	}
+}

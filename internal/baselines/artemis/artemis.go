@@ -14,6 +14,7 @@ import (
 
 	"repro/internal/baselines"
 	"repro/internal/dataset"
+	"repro/internal/engine"
 	"repro/internal/sim"
 	"repro/internal/space"
 )
@@ -41,8 +42,8 @@ func (t *Tuner) Tune(obj sim.Objective, _ *dataset.Dataset, seed int64, stop fun
 	if stop == nil {
 		stop = func() bool { return false }
 	}
-	obj = baselines.WithCache(obj) // re-probing a known setting is free
-	sp := obj.Space()
+	eng := engine.From(obj) // memoized: re-probing a known setting is free
+	sp := eng.Space()
 	rng := rand.New(rand.NewSource(seed))
 	var track baselines.Tracker
 
@@ -50,7 +51,7 @@ func (t *Tuner) Tune(obj sim.Objective, _ *dataset.Dataset, seed int64, stop fun
 		if stop() {
 			return math.Inf(1)
 		}
-		ms, err := obj.Measure(s)
+		ms, err := eng.Measure(s)
 		if err != nil {
 			return math.Inf(1)
 		}

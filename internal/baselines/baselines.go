@@ -5,11 +5,7 @@
 package baselines
 
 import (
-	"errors"
-	"sync"
-
 	"repro/internal/dataset"
-	"repro/internal/gpu"
 	"repro/internal/sim"
 	"repro/internal/space"
 )
@@ -45,60 +41,3 @@ func (t *Tracker) Observe(s space.Setting, ms float64) {
 
 // Found reports whether any valid measurement was observed.
 func (t *Tracker) Found() bool { return t.found }
-
-// Cached wraps an objective with a measurement cache: re-probing a setting
-// an auto-tuner has already compiled and timed is free, which every real
-// tuner implements (OpenTuner's results database, csTuner's memoized GA).
-// It is safe for concurrent use.
-type Cached struct {
-	obj   sim.Objective
-	mu    sync.Mutex
-	times map[string]float64
-	errs  map[string]error
-}
-
-// WithCache wraps obj; a nil obj is rejected by the first Measure call.
-func WithCache(obj sim.Objective) *Cached {
-	return &Cached{obj: obj, times: map[string]float64{}, errs: map[string]error{}}
-}
-
-// Space implements sim.Objective.
-func (c *Cached) Space() *space.Space { return c.obj.Space() }
-
-// Architecture forwards the wrapped objective's GPU model when present.
-func (c *Cached) Architecture() *gpu.Arch {
-	if ap, ok := c.obj.(interface{ Architecture() *gpu.Arch }); ok {
-		return ap.Architecture()
-	}
-	return nil
-}
-
-// Measure implements sim.Objective with memoization.
-func (c *Cached) Measure(s space.Setting) (float64, error) {
-	key := s.Key()
-	c.mu.Lock()
-	if ms, ok := c.times[key]; ok {
-		c.mu.Unlock()
-		return ms, nil
-	}
-	if err, ok := c.errs[key]; ok {
-		c.mu.Unlock()
-		return 0, err
-	}
-	c.mu.Unlock()
-
-	ms, err := c.obj.Measure(s)
-
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if err != nil {
-		// Budget exhaustion must not be cached: the same setting could be
-		// measured by a later unbudgeted run of the shared cache.
-		if !errors.Is(err, sim.ErrBudget) {
-			c.errs[key] = err
-		}
-		return 0, err
-	}
-	c.times[key] = ms
-	return ms, nil
-}

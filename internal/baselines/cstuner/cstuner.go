@@ -29,7 +29,9 @@ func (t *Tuner) Name() string { return "cstuner" }
 func (t *Tuner) Tune(obj sim.Objective, ds *dataset.Dataset, seed int64, stop func() bool) (space.Setting, float64, error) {
 	cfg := t.Cfg
 	cfg.Seed = seed
-	rep, err := core.Tune(baselines.WithCache(obj), ds, cfg, stop)
+	// core.Tune routes every measurement through the evaluation engine
+	// (internal/engine), which memoizes — no extra cache layer needed here.
+	rep, err := core.Tune(obj, ds, cfg, stop)
 	if err != nil {
 		return nil, 0, err
 	}

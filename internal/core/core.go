@@ -13,12 +13,11 @@ import (
 	"math"
 	"math/rand"
 	"sort"
-	"sync"
 	"time"
 
 	"repro/internal/dataset"
+	"repro/internal/engine"
 	"repro/internal/ga"
-	"repro/internal/gpu"
 	"repro/internal/grouping"
 	"repro/internal/kernel"
 	"repro/internal/metrics"
@@ -27,6 +26,16 @@ import (
 	"repro/internal/sim"
 	"repro/internal/space"
 )
+
+// Collector is the optional self-collection surface: objectives that can
+// produce full metric reports (the simulator and the GEMM/CPU/temporal
+// workloads) implement it, letting Tune build its offline dataset when the
+// caller passes none. It matches dataset.Runner, so any Collector plugs
+// straight into dataset.Collect.
+type Collector interface {
+	Run(s space.Setting) (*sim.Result, error)
+	Space() *space.Space
+}
 
 // Config bundles the pipeline's knobs; DefaultConfig mirrors the paper's
 // evaluation setup (Sec. V-A2).
@@ -47,8 +56,9 @@ type Config struct {
 	// Seed drives every random choice in the pipeline.
 	Seed int64
 	// EmitKernels enables CUDA source generation for the sampled settings
-	// (the codegen stage of the overhead breakdown). Requires the
-	// objective to be a *sim.Simulator so the target arch is known.
+	// (the codegen stage of the overhead breakdown). Requires the objective
+	// (or a wrapper in its chain) to expose sim.ArchProvider so the target
+	// arch is known.
 	EmitKernels bool
 }
 
@@ -92,29 +102,50 @@ type Report struct {
 	Evaluations     int // distinct settings measured during the search
 	GroupOrder      []int
 	GeneratedCUDA   int // kernels emitted during codegen
+
+	// Engine is the evaluation engine's counter snapshot at the end of the
+	// run: evaluations, cache hits, invalid settings, budget trips, virtual
+	// seconds spent.
+	Engine engine.Stats
+	// Spans are the engine's aggregated per-stage timing spans (dataset,
+	// grouping, sampling, codegen, search).
+	Spans []engine.Span
 }
 
 // Tune runs the full csTuner pipeline against the objective.
 //
+// Every measurement goes through the evaluation engine: when obj already is
+// an *engine.Engine (the harness wraps objectives in budgeted engines) it is
+// used as-is so cache, budget and stats are shared across layers; otherwise
+// obj is wrapped in a fresh engine.
+//
 // ds is the offline stencil dataset (metric collection is a one-time offline
 // step, paper Sec. V-F); pass nil to have Tune collect cfg.DatasetSize
-// samples through the objective's Run method when the objective is a
-// *sim.Simulator. stop is polled between evaluations — the harness uses it
-// to enforce iso-time budgets; pass nil for no budget.
+// samples through the objective's Collector surface — the simulator and the
+// GEMM/CPU/temporal workloads all self-collect. stop is polled between
+// evaluations — the harness uses it to enforce iso-time budgets; pass nil
+// for no budget.
 func Tune(obj sim.Objective, ds *dataset.Dataset, cfg Config, stop func() bool) (*Report, error) {
 	if stop == nil {
 		stop = func() bool { return false }
 	}
-	sp := obj.Space()
+	eng := engine.From(obj)
+	sp := eng.Space()
 	rng := rand.New(rand.NewSource(cfg.Seed))
+	statsBefore := eng.Stats()
 
 	if ds == nil {
-		s, ok := obj.(*sim.Simulator)
-		if !ok {
+		if !eng.CanCollect() {
 			return nil, errors.New("core: no dataset given and objective cannot collect one")
 		}
+		stopSpan := eng.Time("dataset")
 		var err error
-		ds, err = dataset.Collect(s, rng, cfg.DatasetSize, 0)
+		// Sequential collection on purpose: the pipeline rng continues into
+		// the sampling stage, so the draw stream must not depend on worker
+		// scheduling (batched collection lives in dataset.CollectBatch for
+		// callers with a dedicated rng).
+		ds, err = dataset.Collect(eng, rng, cfg.DatasetSize, 0)
+		stopSpan()
 		if err != nil {
 			return nil, fmt.Errorf("core: dataset collection: %w", err)
 		}
@@ -133,16 +164,19 @@ func Tune(obj sim.Objective, ds *dataset.Dataset, cfg Config, stop func() bool) 
 
 	// ---- Pre-processing: parameter grouping (Sec. IV-C) -----------------
 	t0 := time.Now()
+	stopSpan := eng.Time("grouping")
 	pairs := grouping.PairCVs(ds, sp)
 	groups := grouping.Groups(pairs, cfg.MaxGroupSize)
 	if err := grouping.ValidateN(groups, sp.N()); err != nil {
 		return nil, fmt.Errorf("core: %w", err)
 	}
 	rep.Groups = groups
+	stopSpan()
 	rep.Overhead.Grouping = time.Since(t0)
 
 	// ---- Pre-processing: search-space sampling (Sec. IV-D) --------------
 	t0 = time.Now()
+	stopSpan = eng.Time("sampling")
 	names := metricNames(ds)
 	mpairs, err := metrics.PairPCCs(ds, names)
 	if err != nil {
@@ -181,32 +215,40 @@ func Tune(obj sim.Objective, ds *dataset.Dataset, cfg Config, stop func() bool) 
 		return nil, fmt.Errorf("core: sampling: %w", err)
 	}
 	rep.SampledSize = len(sampled.Settings)
+	stopSpan()
 	rep.Overhead.Sampling = time.Since(t0)
 
 	// ---- Pre-processing: code generation ---------------------------------
+	// The engine forwards sim.ArchProvider from the wrapped objective, so
+	// codegen reaches the target arch through any wrapper chain.
 	if cfg.EmitKernels && sp.Stencil != nil {
-		if ap, ok := obj.(interface{ Architecture() *gpu.Arch }); ok {
-			if arch := ap.Architecture(); arch != nil {
-				t0 = time.Now()
-				for _, set := range sampled.Settings {
-					k, err := kernel.Build(sp, set, arch)
-					if err != nil {
-						continue // resource-invalid sampled candidates are dropped at build time
-					}
-					_ = k.EmitCUDA()
-					rep.GeneratedCUDA++
+		if arch := sim.ArchOf(eng); arch != nil {
+			t0 = time.Now()
+			stopSpan = eng.Time("codegen")
+			for _, set := range sampled.Settings {
+				k, err := kernel.Build(sp, set, arch)
+				if err != nil {
+					continue // resource-invalid sampled candidates are dropped at build time
 				}
-				rep.Overhead.Codegen = time.Since(t0)
+				_ = k.EmitCUDA()
+				rep.GeneratedCUDA++
 			}
+			stopSpan()
+			rep.Overhead.Codegen = time.Since(t0)
 		}
 	}
 
 	// ---- Evolutionary search (Sec. IV-E) ---------------------------------
-	best, bestMS, evals, err := search(obj, sampled, ds, cfg, rep, stop)
+	stopSpan = eng.Time("search")
+	best, bestMS, err := search(eng, sampled, ds, cfg, rep, stop)
+	stopSpan()
 	if err != nil {
 		return nil, err
 	}
-	rep.Best, rep.BestMS, rep.Evaluations = best, bestMS, evals
+	rep.Best, rep.BestMS = best, bestMS
+	rep.Engine = eng.Stats()
+	rep.Evaluations = rep.Engine.Evaluations - statsBefore.Evaluations
+	rep.Spans = eng.Spans()
 	return rep, nil
 }
 
@@ -226,38 +268,40 @@ func metricNames(ds *dataset.Dataset) []string {
 // head-room); each group is tuned by the customized GA — degenerating to
 // exhaustive search for small ranges — while the remaining parameters stay
 // fixed, then frozen at its winner.
-func search(obj sim.Objective, sampled *sampling.Sampled, ds *dataset.Dataset,
-	cfg Config, rep *Report, stop func() bool) (space.Setting, float64, int, error) {
+//
+// The engine carries the measurement cache, budget accounting and global
+// best-tracking, so search keeps no concurrent state of its own: the GA
+// sub-populations measure straight through the engine.
+func search(eng *engine.Engine, sampled *sampling.Sampled, ds *dataset.Dataset,
+	cfg Config, rep *Report, stop func() bool) (space.Setting, float64, error) {
 
-	sp := obj.Space()
+	sp := eng.Space()
 
 	// Starting point: the sampled space's best-predicted setting, or the
 	// dataset's best measured setting if measuring the former fails.
 	current, err := sampled.Best()
 	if err != nil {
-		return nil, 0, 0, err
+		return nil, 0, err
 	}
-	bestSet := ds.Best().Setting.Clone()
-	bestMS := ds.Best().TimeMS
+	dsBest := ds.Best()
 
-	evals := 0
-	var mu sync.Mutex // GA sub-populations evaluate concurrently
 	measure := func(s space.Setting) float64 {
 		if stop() {
 			return math.Inf(1)
 		}
-		ms, err := obj.Measure(s)
+		ms, err := eng.Measure(s)
 		if err != nil {
 			return math.Inf(1)
 		}
-		mu.Lock()
-		evals++
-		if ms < bestMS {
-			bestMS = ms
-			bestSet = s.Clone()
-		}
-		mu.Unlock()
 		return ms
+	}
+	// Best-so-far: the engine tracks every measured setting; the dataset's
+	// best sample is the floor (it may never be re-measured by the search).
+	best := func() (space.Setting, float64) {
+		if s, ms, ok := eng.Best(); ok && ms < dsBest.TimeMS {
+			return s, ms
+		}
+		return dsBest.Setting.Clone(), dsBest.TimeMS
 	}
 
 	// Anchor measurements: the canonical untuned baseline (a tuner must
@@ -267,7 +311,7 @@ func search(obj sim.Objective, sampled *sampling.Sampled, ds *dataset.Dataset,
 		measure(def)
 	}
 	if ms := measure(current); math.IsInf(ms, 1) {
-		current = bestSet.Clone()
+		current, _ = best()
 	}
 
 	order := groupOrder(sampled)
@@ -276,7 +320,7 @@ func search(obj sim.Objective, sampled *sampling.Sampled, ds *dataset.Dataset,
 
 	// Iterative auto-tuning over parameter groups. After the first pass,
 	// further refinement passes re-tune each group in the context the other
-	// groups settled into; earlier probes are memoized by the measurement
+	// groups settled into; earlier probes are memoized by the engine's
 	// cache, so a pass that discovers nothing new is nearly free. The loop
 	// ends when a full pass stops improving, the budget stops us, or the
 	// safety cap is hit.
@@ -285,14 +329,15 @@ func search(obj sim.Objective, sampled *sampling.Sampled, ds *dataset.Dataset,
 		improvedPass := false
 		for _, gi := range order {
 			if stop() {
-				return bestSet, bestMS, evals, nil
+				bestSet, bestMS := best()
+				return bestSet, bestMS, nil
 			}
 			values := sampled.Values[gi]
 			if len(values) <= 1 {
 				continue
 			}
 			gaOpt.Seed = cfg.Seed + int64(gi)*104729 + int64(pass)*15485863
-			before := bestMS
+			_, before := best()
 			res := ga.Minimize(len(values), func(tupleIdx int) float64 {
 				cand := current.Clone()
 				if err := sampled.Apply(cand, gi, tupleIdx); err != nil {
@@ -305,22 +350,23 @@ func search(obj sim.Objective, sampled *sampling.Sampled, ds *dataset.Dataset,
 			}, gaOpt)
 			if res.BestIndex >= 0 && !math.IsInf(res.BestValue, 1) {
 				if err := sampled.Apply(current, gi, res.BestIndex); err != nil {
-					return nil, 0, 0, err
+					return nil, 0, err
 				}
 			}
-			if bestMS < before {
+			if _, now := best(); now < before {
 				improvedPass = true
 			}
 		}
 		// Adopt the global best as the context for the next pass: the
 		// per-group winners may not compose, but the best measured full
 		// setting is always a valid composition.
-		current = bestSet.Clone()
+		current, _ = best()
 		if !improvedPass {
 			break
 		}
 	}
-	return bestSet, bestMS, evals, nil
+	bestSet, bestMS := best()
+	return bestSet, bestMS, nil
 }
 
 // groupOrder returns group indices sorted by descending value-range size.

@@ -1,0 +1,117 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/engine"
+	"repro/internal/gemm"
+	"repro/internal/gpu"
+	"repro/internal/sim"
+	"repro/internal/space"
+	"repro/internal/stencil"
+)
+
+// TestTuneSelfCollectsNonStencilObjective: the pipeline no longer requires a
+// *sim.Simulator — any objective implementing the Collector surface (here
+// the GEMM workload) collects its own offline dataset when ds == nil.
+func TestTuneSelfCollectsNonStencilObjective(t *testing.T) {
+	w, err := gemm.New(1024, 1024, 1024, gpu.A100())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := quickConfig()
+	cfg.Sampling.PoolSize = 256
+	cfg.GA.MaxGenerations = 6
+	cfg.EmitKernels = false
+	rep, err := Tune(w, nil, cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Best == nil || rep.BestMS <= 0 {
+		t.Fatal("self-collection produced no result")
+	}
+	def, err := w.Measure(w.Space().Default())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.BestMS >= def {
+		t.Fatalf("tuned %.3f not better than default %.3f", rep.BestMS, def)
+	}
+}
+
+// TestTuneRejectsNonCollectingObjective: an objective that can only Measure
+// must be given a dataset explicitly.
+func TestTuneRejectsNonCollectingObjective(t *testing.T) {
+	sp, err := space.New(stencil.Helmholtz())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := sim.New(sp, gpu.A100())
+	// Strip the Runner surface by hiding the simulator behind a plain
+	// Objective wrapper.
+	if _, err := Tune(measureOnly{s}, nil, quickConfig(), nil); err == nil {
+		t.Fatal("pipeline accepted a measure-only objective without a dataset")
+	}
+}
+
+type measureOnly struct{ obj sim.Objective }
+
+func (m measureOnly) Space() *space.Space                      { return m.obj.Space() }
+func (m measureOnly) Measure(s space.Setting) (float64, error) { return m.obj.Measure(s) }
+
+// TestReportCarriesEngineStats: the report exposes the engine's counters and
+// the per-stage timing spans.
+func TestReportCarriesEngineStats(t *testing.T) {
+	sp, err := space.New(stencil.Helmholtz())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := sim.New(sp, gpu.A100())
+	cfg := quickConfig()
+	cfg.EmitKernels = false
+	rep, err := Tune(s, nil, cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Engine.Evaluations == 0 {
+		t.Fatal("engine stats missing from report")
+	}
+	if rep.Evaluations != rep.Engine.Evaluations {
+		t.Fatalf("Evaluations %d != engine delta %d (fresh engine)",
+			rep.Evaluations, rep.Engine.Evaluations)
+	}
+	want := map[string]bool{"dataset": false, "grouping": false, "sampling": false, "search": false}
+	for _, sp := range rep.Spans {
+		if _, ok := want[sp.Name]; ok {
+			want[sp.Name] = true
+		}
+	}
+	for name, seen := range want {
+		if !seen {
+			t.Fatalf("missing %q span in %+v", name, rep.Spans)
+		}
+	}
+}
+
+// TestTuneSharesCallerEngine: passing an existing engine routes every
+// pipeline measurement through it, so its stats accumulate there.
+func TestTuneSharesCallerEngine(t *testing.T) {
+	sp, err := space.New(stencil.Helmholtz())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := sim.New(sp, gpu.A100())
+	eng := engine.New(s)
+	cfg := quickConfig()
+	cfg.EmitKernels = false
+	rep, err := Tune(eng, nil, cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if eng.Stats().Evaluations == 0 {
+		t.Fatal("caller engine saw no measurements")
+	}
+	if rep.Engine != eng.Stats() {
+		t.Fatalf("report stats %+v != engine stats %+v", rep.Engine, eng.Stats())
+	}
+}

@@ -1,0 +1,194 @@
+package engine
+
+import (
+	"errors"
+	"sync"
+
+	"repro/internal/sim"
+	"repro/internal/space"
+)
+
+// ErrNoRunner is returned by Run/RunBatch when the inner objective offers
+// only Measure — it cannot produce the metric reports dataset collection
+// needs.
+var ErrNoRunner = errors.New("engine: objective cannot produce metric reports")
+
+// Runner is the optional metric-producing surface an objective can
+// implement (the simulator and the GEMM/CPU/temporal workloads all do):
+// Run returns the full simulated result — time plus Nsight-style metrics —
+// that offline dataset collection stores.
+type Runner interface {
+	Run(s space.Setting) (*sim.Result, error)
+	Space() *space.Space
+}
+
+// BatchResult is one MeasureBatch outcome; Err is nil exactly when the
+// setting was measured (or served from cache) successfully.
+type BatchResult struct {
+	MS  float64
+	Err error
+}
+
+// MeasureBatch measures many settings through the bounded worker pool and
+// returns results in input order. Accounting (budget, counters, best
+// tracking, trajectory) is applied sequentially in input order after the
+// parallel phase, so a batched run is byte-identical to measuring the
+// settings one by one — regardless of worker count or scheduling. Settings
+// whose sequential position falls past the budget return ErrBudget (their
+// speculative measurement is discarded; the simulated objective is cheap).
+func (e *Engine) MeasureBatch(settings []space.Setting) []BatchResult {
+	out := make([]BatchResult, len(settings))
+	if len(settings) == 0 {
+		return out
+	}
+
+	// Phase 1: resolve raw values for every key not already cached, in
+	// parallel, without touching the accounting state.
+	type raw struct {
+		ms  float64
+		err error
+	}
+	keys := make([]string, len(settings))
+	need := make([]int, 0, len(settings)) // first input index per missing key
+	seen := map[string]struct{}{}
+	for i, s := range settings {
+		keys[i] = s.Key()
+		if _, dup := seen[keys[i]]; dup {
+			continue
+		}
+		seen[keys[i]] = struct{}{}
+		if !e.noCache {
+			e.mu.Lock()
+			_, hitT := e.times[keys[i]]
+			_, hitE := e.errs[keys[i]]
+			e.mu.Unlock()
+			if hitT || hitE {
+				continue
+			}
+		}
+		need = append(need, i)
+	}
+	raws := make(map[string]raw, len(need))
+	var rawMu sync.Mutex
+	e.forEach(len(need), func(k int) {
+		i := need[k]
+		ms, err := e.obj.Measure(settings[i])
+		rawMu.Lock()
+		raws[keys[i]] = raw{ms: ms, err: err}
+		rawMu.Unlock()
+	})
+
+	// Phase 2: sequential accounting in input order. Duplicate settings in
+	// one batch hit the cache entry their first occurrence stored.
+	for i, s := range settings {
+		if ms, err, ok := e.lookup(keys[i]); ok {
+			out[i] = BatchResult{MS: ms, Err: err}
+			continue
+		}
+		if e.exhausted(true) {
+			out[i] = BatchResult{Err: ErrBudget}
+			continue
+		}
+		r, ok := raws[keys[i]]
+		if !ok { // noCache duplicate: reuse the single speculative probe
+			ms, err := e.obj.Measure(s)
+			r = raw{ms: ms, err: err}
+		}
+		ms, err := e.account(s, keys[i], r.ms, r.err)
+		out[i] = BatchResult{MS: ms, Err: err}
+	}
+	return out
+}
+
+// CanCollect reports whether the inner objective can produce the metric
+// reports offline dataset collection needs.
+func (e *Engine) CanCollect() bool {
+	_, ok := e.obj.(Runner)
+	return ok
+}
+
+// Run implements Runner by forwarding to the inner objective. Collection is
+// an offline step (paper Sec. V-F): it is neither charged to the virtual
+// budget nor counted as an evaluation, but successful results pre-warm the
+// measurement cache so the search re-probes dataset settings for free.
+func (e *Engine) Run(s space.Setting) (*sim.Result, error) {
+	r, ok := e.obj.(Runner)
+	if !ok {
+		return nil, ErrNoRunner
+	}
+	key := s.Key()
+	if !e.noCache {
+		e.mu.Lock()
+		if res, ok := e.results[key]; ok {
+			e.stats.CacheHits++
+			e.mu.Unlock()
+			return res, nil
+		}
+		if err, ok := e.errs[key]; ok {
+			e.stats.CacheHits++
+			e.mu.Unlock()
+			return nil, err
+		}
+		e.mu.Unlock()
+	}
+	res, err := r.Run(s)
+	if e.noCache {
+		return res, err
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if err != nil {
+		if !errors.Is(err, ErrBudget) {
+			e.errs[key] = err
+		}
+		return nil, err
+	}
+	e.results[key] = res
+	e.times[key] = res.TimeMS
+	return res, nil
+}
+
+// RunBatch runs many settings through the worker pool, preserving input
+// order. Like Run it is unmetered: dataset collection is offline work.
+func (e *Engine) RunBatch(settings []space.Setting) ([]*sim.Result, []error) {
+	res := make([]*sim.Result, len(settings))
+	errs := make([]error, len(settings))
+	e.forEach(len(settings), func(i int) {
+		res[i], errs[i] = e.Run(settings[i])
+	})
+	return res, errs
+}
+
+// forEach runs f(0..n-1) on the bounded worker pool.
+func (e *Engine) forEach(n int, f func(i int)) {
+	if n == 0 {
+		return
+	}
+	workers := e.workers
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			f(i)
+		}
+		return
+	}
+	idx := make(chan int)
+	done := make(chan struct{})
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer func() { done <- struct{}{} }()
+			for i := range idx {
+				f(i)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		idx <- i
+	}
+	close(idx)
+	for w := 0; w < workers; w++ {
+		<-done
+	}
+}

@@ -1,0 +1,383 @@
+// Package engine is the unified evaluation engine: the single measurement
+// path every auto-tuner in this repository goes through. It wraps any
+// sim.Objective with
+//
+//   - a concurrency-safe memoizing cache keyed on the setting, which caches
+//     invalid-setting errors (deterministic: the same setting always fails)
+//     but never sim.ErrBudget (transient: a later run of the same engine
+//     family may still measure the setting);
+//   - unified virtual-budget enforcement — the harness cost model charges a
+//     compilation cost per distinct measured setting and a check cost per
+//     rejected one, and the engine refuses further measurements once the
+//     budget is spent;
+//   - best-so-far tracking with a full trajectory (best time after k
+//     evaluations / after s virtual seconds), which the iso-iteration and
+//     iso-time protocols query;
+//   - an observability surface: per-run counters (evaluations, cache hits,
+//     invalid settings, budget trips) and named timing spans that flow into
+//     core.Report.
+//
+// Parallel evaluation goes through MeasureBatch/RunBatch (engine_batch): a
+// bounded worker pool with deterministic, input-ordered results and
+// sequential accounting, so a parallel run is byte-identical to a serial one.
+package engine
+
+import (
+	"errors"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/gpu"
+	"repro/internal/sim"
+	"repro/internal/space"
+)
+
+// ErrBudget re-exports the transient budget error tuners test for.
+var ErrBudget = sim.ErrBudget
+
+// CostModel prices one evaluation on the virtual clock (folded in from the
+// harness meter; see DESIGN.md — compilation dominates real auto-tuning).
+type CostModel struct {
+	// CompileS is charged per distinct measured setting (nvcc + load).
+	CompileS float64
+	// Reps is how many times the kernel runs per measurement; the run time
+	// itself is the simulated kernel time.
+	Reps int
+	// CheckS is charged per rejected setting (constraint check only).
+	CheckS float64
+}
+
+// DefaultCostModel approximates the paper's testbed: a few seconds of nvcc
+// per variant dominates, with kernels re-run a handful of times.
+func DefaultCostModel() CostModel {
+	return CostModel{CompileS: 1.5, Reps: 3, CheckS: 0.005}
+}
+
+// Point is one trajectory sample: after spending CostS virtual seconds and
+// Evals measurements, the best time seen so far was BestMS.
+type Point struct {
+	CostS  float64
+	Evals  int
+	BestMS float64
+}
+
+// Stats is the engine's per-run counter snapshot.
+type Stats struct {
+	// Evaluations counts successful objective measurements (cache misses
+	// that produced a time).
+	Evaluations int
+	// CacheHits counts measurements served from the memoizing cache,
+	// including cached invalid-setting errors.
+	CacheHits int
+	// Invalid counts invalid-setting errors observed from the objective
+	// (each is cached, so it is charged at most once).
+	Invalid int
+	// BudgetTrips counts measurements refused because the virtual budget
+	// was already spent.
+	BudgetTrips int
+	// SpentS is the virtual seconds consumed so far.
+	SpentS float64
+}
+
+// Span is one aggregated named timing span (e.g. a pipeline stage).
+type Span struct {
+	Name  string
+	Count int
+	Total time.Duration
+}
+
+// Option configures an Engine at construction time.
+type Option func(*Engine)
+
+// WithCost sets the virtual cost model (defaults to DefaultCostModel).
+func WithCost(c CostModel) Option { return func(e *Engine) { e.cost = c } }
+
+// WithBudget stops the engine once the virtual clock passes budgetS seconds;
+// 0 means unlimited (iso-iteration runs use evaluation counts instead).
+func WithBudget(budgetS float64) Option { return func(e *Engine) { e.budgetS = budgetS } }
+
+// WithWorkers bounds the batch worker pool (defaults to GOMAXPROCS, capped
+// at 16); n < 1 resets to the default.
+func WithWorkers(n int) Option { return func(e *Engine) { e.workers = n } }
+
+// WithoutCache disables memoization — every Measure reaches the objective.
+// Used by studies that want raw measurement counts.
+func WithoutCache() Option { return func(e *Engine) { e.noCache = true } }
+
+// Engine implements sim.Objective over an inner objective. It is safe for
+// concurrent use: csTuner's GA measures from several goroutines, and the
+// batch APIs run a worker pool.
+type Engine struct {
+	obj     sim.Objective
+	cost    CostModel
+	budgetS float64
+	workers int
+	noCache bool
+
+	mu      sync.Mutex
+	times   map[string]float64
+	errs    map[string]error
+	results map[string]*sim.Result
+
+	spentS  float64
+	evals   int
+	best    float64
+	bestSet space.Setting
+	traj    []Point
+
+	stats Stats
+	spans map[string]*Span
+	order []string // span first-use order
+}
+
+// New wraps obj in a fresh engine.
+func New(obj sim.Objective, opts ...Option) *Engine {
+	e := &Engine{
+		obj:     obj,
+		cost:    DefaultCostModel(),
+		best:    -1,
+		times:   map[string]float64{},
+		errs:    map[string]error{},
+		results: map[string]*sim.Result{},
+		spans:   map[string]*Span{},
+	}
+	for _, o := range opts {
+		o(e)
+	}
+	if e.workers < 1 {
+		e.workers = runtime.GOMAXPROCS(0)
+		if e.workers > 16 {
+			e.workers = 16
+		}
+	}
+	return e
+}
+
+// From returns obj itself when it already is an engine — tuners call it so
+// stacked layers (harness budget engine → baseline adapter → core pipeline)
+// share one cache, one budget, and one stats surface — and otherwise wraps
+// obj in a fresh engine with the given options.
+func From(obj sim.Objective, opts ...Option) *Engine {
+	if e, ok := obj.(*Engine); ok {
+		return e
+	}
+	return New(obj, opts...)
+}
+
+// Space implements sim.Objective.
+func (e *Engine) Space() *space.Space { return e.obj.Space() }
+
+// Architecture implements sim.ArchProvider by forwarding the wrapped
+// objective's GPU model, so the codegen stage survives engine wrapping.
+func (e *Engine) Architecture() *gpu.Arch {
+	if ap, ok := e.obj.(sim.ArchProvider); ok {
+		return ap.Architecture()
+	}
+	return nil
+}
+
+// Unwrap returns the inner objective.
+func (e *Engine) Unwrap() sim.Objective { return e.obj }
+
+// Measure implements sim.Objective: cache lookup, then budget enforcement,
+// then one metered measurement of the inner objective.
+func (e *Engine) Measure(s space.Setting) (float64, error) {
+	key := s.Key()
+	if ms, err, ok := e.lookup(key); ok {
+		return ms, err
+	}
+	if e.exhausted(true) {
+		return 0, ErrBudget
+	}
+	ms, err := e.obj.Measure(s)
+	return e.account(s, key, ms, err)
+}
+
+// lookup consults the cache; ok=false means the setting must be measured.
+func (e *Engine) lookup(key string) (float64, error, bool) {
+	if e.noCache {
+		return 0, nil, false
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if ms, ok := e.times[key]; ok {
+		e.stats.CacheHits++
+		return ms, nil, true
+	}
+	if err, ok := e.errs[key]; ok {
+		e.stats.CacheHits++
+		return 0, err, true
+	}
+	return 0, nil, false
+}
+
+// exhausted reports whether the budget is spent, optionally counting the
+// refusal as a budget trip.
+func (e *Engine) exhausted(trip bool) bool {
+	if e.budgetS <= 0 {
+		return false
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.spentS < e.budgetS {
+		return false
+	}
+	if trip {
+		e.stats.BudgetTrips++
+	}
+	return true
+}
+
+// account applies the virtual cost, counters, best tracking and caching for
+// one raw measurement outcome, and returns what Measure should.
+func (e *Engine) account(s space.Setting, key string, ms float64, err error) (float64, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if err != nil {
+		e.spentS += e.cost.CheckS
+		e.stats.Invalid++
+		e.stats.SpentS = e.spentS
+		// Budget exhaustion must not be cached: the same setting could be
+		// measured by a later unbudgeted run of the shared cache.
+		if !e.noCache && !errors.Is(err, ErrBudget) {
+			e.errs[key] = err
+		}
+		return 0, err
+	}
+	e.spentS += e.cost.CompileS + float64(e.cost.Reps)*ms/1000
+	e.evals++
+	e.stats.Evaluations++
+	e.stats.SpentS = e.spentS
+	if e.best < 0 || ms < e.best {
+		e.best = ms
+		e.bestSet = s.Clone()
+	}
+	e.traj = append(e.traj, Point{CostS: e.spentS, Evals: e.evals, BestMS: e.best})
+	if !e.noCache {
+		e.times[key] = ms
+	}
+	return ms, nil
+}
+
+// Exhausted reports whether the budget has been spent; tuners poll this as
+// their stop function.
+func (e *Engine) Exhausted() bool { return e.exhausted(false) }
+
+// SpentS returns the virtual seconds consumed so far.
+func (e *Engine) SpentS() float64 {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.spentS
+}
+
+// ChargeS adds out-of-band cost (e.g. csTuner's real pre-processing time)
+// to the virtual clock.
+func (e *Engine) ChargeS(s float64) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.spentS += s
+	e.stats.SpentS = e.spentS
+}
+
+// Evals returns the number of successful measurements.
+func (e *Engine) Evals() int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.evals
+}
+
+// Best returns the best observation, or ok=false when nothing measured.
+func (e *Engine) Best() (space.Setting, float64, bool) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.best < 0 {
+		return nil, 0, false
+	}
+	return e.bestSet.Clone(), e.best, true
+}
+
+// BestAtEvals returns the best time after the first n measurements, or
+// ok=false when fewer than one measurement happened.
+func (e *Engine) BestAtEvals(n int) (float64, bool) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if len(e.traj) == 0 || n < 1 {
+		return 0, false
+	}
+	i := sort.Search(len(e.traj), func(k int) bool { return e.traj[k].Evals > n })
+	if i == 0 {
+		return 0, false
+	}
+	return e.traj[i-1].BestMS, true
+}
+
+// BestAtCost returns the best time once the virtual clock reached s seconds.
+func (e *Engine) BestAtCost(s float64) (float64, bool) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if len(e.traj) == 0 {
+		return 0, false
+	}
+	i := sort.Search(len(e.traj), func(k int) bool { return e.traj[k].CostS > s })
+	if i == 0 {
+		return 0, false
+	}
+	return e.traj[i-1].BestMS, true
+}
+
+// Trajectory returns a copy of the recorded points.
+func (e *Engine) Trajectory() []Point {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return append([]Point(nil), e.traj...)
+}
+
+// Stats returns a snapshot of the per-run counters.
+func (e *Engine) Stats() Stats {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.stats
+}
+
+// Workers returns the batch worker-pool bound.
+func (e *Engine) Workers() int { return e.workers }
+
+// Time starts a named timing span and returns its stop function; repeated
+// spans of the same name aggregate. Pipeline stages use it so per-stage
+// durations surface on the report:
+//
+//	defer eng.Time("grouping")()
+func (e *Engine) Time(name string) func() {
+	start := time.Now()
+	return func() {
+		d := time.Since(start)
+		e.mu.Lock()
+		defer e.mu.Unlock()
+		sp := e.spans[name]
+		if sp == nil {
+			sp = &Span{Name: name}
+			e.spans[name] = sp
+			e.order = append(e.order, name)
+		}
+		sp.Count++
+		sp.Total += d
+	}
+}
+
+// Spans returns the aggregated timing spans in first-use order.
+func (e *Engine) Spans() []Span {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	out := make([]Span, 0, len(e.order))
+	for _, name := range e.order {
+		out = append(out, *e.spans[name])
+	}
+	return out
+}
+
+var (
+	_ sim.Objective    = (*Engine)(nil)
+	_ sim.ArchProvider = (*Engine)(nil)
+)

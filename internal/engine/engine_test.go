@@ -1,0 +1,394 @@
+package engine
+
+import (
+	"errors"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"repro/internal/gpu"
+	"repro/internal/sim"
+	"repro/internal/space"
+	"repro/internal/stencil"
+)
+
+// fakeObj is a deterministic objective double: time = TBx + TBy/100, with
+// TBx == 999 marking an invalid setting. It counts inner calls per key.
+type fakeObj struct {
+	sp *space.Space
+
+	mu    sync.Mutex
+	calls map[string]int
+	// next, when non-nil, overrides the next Measure outcome once.
+	next error
+}
+
+var errFakeInvalid = errors.New("fake: invalid setting")
+
+func newFake(t testing.TB) *fakeObj {
+	t.Helper()
+	sp, err := space.New(stencil.Helmholtz())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &fakeObj{sp: sp, calls: map[string]int{}}
+}
+
+func (f *fakeObj) Space() *space.Space { return f.sp }
+
+func (f *fakeObj) Measure(s space.Setting) (float64, error) {
+	f.mu.Lock()
+	f.calls[s.Key()]++
+	next := f.next
+	f.next = nil
+	f.mu.Unlock()
+	if next != nil {
+		return 0, next
+	}
+	if s[space.TBX] == 999 {
+		return 0, errFakeInvalid
+	}
+	return float64(s[space.TBX]) + float64(s[space.TBY])/100, nil
+}
+
+func (f *fakeObj) callCount(s space.Setting) int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.calls[s.Key()]
+}
+
+// variant returns the default setting with TBx/TBy overridden.
+func variant(sp *space.Space, tbx, tby int) space.Setting {
+	s := sp.Default()
+	s[space.TBX] = tbx
+	s[space.TBY] = tby
+	return s
+}
+
+func TestMeasureMemoizes(t *testing.T) {
+	f := newFake(t)
+	e := New(f)
+	s := variant(f.sp, 64, 4)
+	ms1, err := e.Measure(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ms2, err := e.Measure(s)
+	if err != nil || ms2 != ms1 {
+		t.Fatalf("cached re-probe = %v/%v, want %v", ms2, err, ms1)
+	}
+	if n := f.callCount(s); n != 1 {
+		t.Fatalf("inner measured %d times, want 1", n)
+	}
+	st := e.Stats()
+	if st.Evaluations != 1 || st.CacheHits != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestInvalidErrorsAreCached(t *testing.T) {
+	f := newFake(t)
+	e := New(f, WithCost(CostModel{CompileS: 1, CheckS: 0.25}))
+	bad := variant(f.sp, 999, 1)
+	_, err1 := e.Measure(bad)
+	_, err2 := e.Measure(bad)
+	if !errors.Is(err1, errFakeInvalid) || !errors.Is(err2, errFakeInvalid) {
+		t.Fatalf("errors = %v / %v", err1, err2)
+	}
+	if n := f.callCount(bad); n != 1 {
+		t.Fatalf("invalid setting re-measured: %d inner calls", n)
+	}
+	st := e.Stats()
+	if st.Invalid != 1 || st.CacheHits != 1 || st.Evaluations != 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if st.SpentS != 0.25 {
+		t.Fatalf("invalid setting charged %v, want one CheckS", st.SpentS)
+	}
+}
+
+func TestErrBudgetIsNotCached(t *testing.T) {
+	f := newFake(t)
+	e := New(f)
+	s := variant(f.sp, 32, 2)
+	f.next = ErrBudget // inner (stacked) objective out of budget once
+	if _, err := e.Measure(s); !errors.Is(err, ErrBudget) {
+		t.Fatalf("err = %v", err)
+	}
+	ms, err := e.Measure(s)
+	if err != nil || ms <= 0 {
+		t.Fatalf("transient ErrBudget was cached: %v/%v", ms, err)
+	}
+	if n := f.callCount(s); n != 2 {
+		t.Fatalf("inner calls = %d, want 2", n)
+	}
+}
+
+func TestBudgetEnforcement(t *testing.T) {
+	f := newFake(t)
+	e := New(f, WithCost(CostModel{CompileS: 10}), WithBudget(15))
+	a := variant(f.sp, 64, 4)
+	if _, err := e.Measure(a); err != nil {
+		t.Fatal(err)
+	}
+	if e.Exhausted() {
+		t.Fatal("budget should survive one eval")
+	}
+	if _, err := e.Measure(variant(f.sp, 32, 2)); err != nil {
+		t.Fatal(err)
+	}
+	if !e.Exhausted() {
+		t.Fatalf("spent %v of 15, should be exhausted", e.SpentS())
+	}
+	if _, err := e.Measure(variant(f.sp, 16, 1)); !errors.Is(err, ErrBudget) {
+		t.Fatalf("fresh setting after exhaustion: %v", err)
+	}
+	if ms, err := e.Measure(a); err != nil || ms <= 0 {
+		t.Fatalf("cached setting must stay free after exhaustion: %v/%v", ms, err)
+	}
+	st := e.Stats()
+	if st.BudgetTrips != 1 {
+		t.Fatalf("BudgetTrips = %d, want 1", st.BudgetTrips)
+	}
+}
+
+// batchInputs builds a batch mixing fresh, duplicate and invalid settings.
+func batchInputs(sp *space.Space) []space.Setting {
+	var in []space.Setting
+	for i := 0; i < 24; i++ {
+		switch i % 4 {
+		case 0:
+			in = append(in, variant(sp, 32+i, 1))
+		case 1:
+			in = append(in, variant(sp, 999, i)) // invalid
+		case 2:
+			in = append(in, variant(sp, 32, 7)) // duplicate of one key
+		default:
+			in = append(in, variant(sp, 64, i))
+		}
+	}
+	return in
+}
+
+func TestMeasureBatchMatchesSequential(t *testing.T) {
+	fSeq := newFake(t)
+	in := batchInputs(fSeq.sp)
+
+	// Reference: one-by-one Measure on a sequential engine.
+	seq := New(fSeq, WithWorkers(1))
+	wantMS := make([]float64, len(in))
+	wantErr := make([]error, len(in))
+	for i, s := range in {
+		wantMS[i], wantErr[i] = seq.Measure(s)
+	}
+
+	for _, workers := range []int{1, 4, 16} {
+		f := newFake(t)
+		e := New(f, WithWorkers(workers))
+		out := e.MeasureBatch(in)
+		for i := range in {
+			if out[i].MS != wantMS[i] || (out[i].Err == nil) != (wantErr[i] == nil) {
+				t.Fatalf("workers=%d item %d: got %v/%v want %v/%v",
+					workers, i, out[i].MS, out[i].Err, wantMS[i], wantErr[i])
+			}
+		}
+		if got, want := e.Stats(), seq.Stats(); got != want {
+			t.Fatalf("workers=%d stats diverge: %+v vs %+v", workers, got, want)
+		}
+		gt, st := e.Trajectory(), seq.Trajectory()
+		if len(gt) != len(st) {
+			t.Fatalf("workers=%d trajectory length %d vs %d", workers, len(gt), len(st))
+		}
+		for i := range gt {
+			if gt[i] != st[i] {
+				t.Fatalf("workers=%d trajectory[%d] = %+v vs %+v", workers, i, gt[i], st[i])
+			}
+		}
+	}
+}
+
+func TestMeasureBatchBudgetCutoffInInputOrder(t *testing.T) {
+	f := newFake(t)
+	// Budget admits exactly two compilations.
+	e := New(f, WithCost(CostModel{CompileS: 10}), WithBudget(20), WithWorkers(8))
+	in := []space.Setting{
+		variant(f.sp, 32, 1), variant(f.sp, 64, 1),
+		variant(f.sp, 128, 1), variant(f.sp, 256, 1),
+	}
+	out := e.MeasureBatch(in)
+	for i := 0; i < 2; i++ {
+		if out[i].Err != nil {
+			t.Fatalf("item %d within budget errored: %v", i, out[i].Err)
+		}
+	}
+	for i := 2; i < 4; i++ {
+		if !errors.Is(out[i].Err, ErrBudget) {
+			t.Fatalf("item %d past budget: %v", i, out[i].Err)
+		}
+	}
+	if st := e.Stats(); st.Evaluations != 2 || st.BudgetTrips != 2 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestConcurrentMeasureIsSafeAndConverges(t *testing.T) {
+	f := newFake(t)
+	e := New(f)
+	sets := make([]space.Setting, 50)
+	for i := range sets {
+		sets[i] = variant(f.sp, 16+i, i%8)
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(g)))
+			for k := 0; k < 200; k++ {
+				s := sets[rng.Intn(len(sets))]
+				if ms, err := e.Measure(s); err != nil || ms <= 0 {
+					t.Errorf("measure: %v/%v", ms, err)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	_, best, ok := e.Best()
+	if !ok || best != 16 { // variant(16, 0) is the fastest by construction
+		t.Fatalf("best = %v/%v, want 16", best, ok)
+	}
+	// Every key measured at most... the engine has no singleflight, so a
+	// concurrent first probe may double-measure; but the cache must bound it
+	// far below the 1600 total probes.
+	if st := e.Stats(); st.Evaluations > 2*len(sets) || st.CacheHits == 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestRunIsUnmeteredAndPrewarmsCache(t *testing.T) {
+	sp, err := space.New(stencil.Helmholtz())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := sim.New(sp, gpu.A100())
+	e := New(s, WithBudget(5), WithCost(CostModel{CompileS: 10}))
+	if !e.CanCollect() {
+		t.Fatal("simulator-backed engine must collect")
+	}
+	set := sp.Default()
+	res, err := e.Run(set)
+	if err != nil || res == nil || res.TimeMS <= 0 {
+		t.Fatalf("Run = %v/%v", res, err)
+	}
+	if st := e.Stats(); st.SpentS != 0 || st.Evaluations != 0 {
+		t.Fatalf("offline Run was metered: %+v", st)
+	}
+	// Second Run serves the cached result.
+	if _, err := e.Run(set); err != nil {
+		t.Fatal(err)
+	}
+	if e.Stats().CacheHits != 1 {
+		t.Fatalf("CacheHits = %d", e.Stats().CacheHits)
+	}
+	// Run pre-warms the Measure cache: no budget charge, same time.
+	ms, err := e.Measure(set)
+	if err != nil || ms != res.TimeMS {
+		t.Fatalf("Measure after Run = %v/%v, want %v", ms, err, res.TimeMS)
+	}
+	if e.SpentS() != 0 {
+		t.Fatal("pre-warmed Measure consumed budget")
+	}
+}
+
+func TestRunBatchOrdered(t *testing.T) {
+	sp, err := space.New(stencil.Helmholtz())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := sim.New(sp, gpu.A100())
+	e := New(s, WithWorkers(8))
+	rng := rand.New(rand.NewSource(11))
+	in := make([]space.Setting, 32)
+	for i := range in {
+		in[i] = sp.Random(rng)
+	}
+	res, errs := e.RunBatch(in)
+	for i := range in {
+		if errs[i] != nil {
+			continue
+		}
+		want, err := s.Run(in[i])
+		if err != nil || res[i].TimeMS != want.TimeMS {
+			t.Fatalf("item %d: %v vs %v (%v)", i, res[i].TimeMS, want, err)
+		}
+	}
+}
+
+func TestRunWithoutRunner(t *testing.T) {
+	f := newFake(t)
+	e := New(f)
+	if e.CanCollect() {
+		t.Fatal("fake objective cannot collect")
+	}
+	if _, err := e.Run(f.sp.Default()); !errors.Is(err, ErrNoRunner) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestFromReusesEngine(t *testing.T) {
+	f := newFake(t)
+	e := New(f)
+	if From(e) != e {
+		t.Fatal("From must return an existing engine unchanged")
+	}
+	if From(f) == nil || From(f) == e {
+		t.Fatal("From must wrap a plain objective in a fresh engine")
+	}
+}
+
+func TestSpansAggregate(t *testing.T) {
+	f := newFake(t)
+	e := New(f)
+	e.Time("grouping")()
+	e.Time("search")()
+	e.Time("search")()
+	spans := e.Spans()
+	if len(spans) != 2 || spans[0].Name != "grouping" || spans[1].Name != "search" {
+		t.Fatalf("spans = %+v", spans)
+	}
+	if spans[1].Count != 2 {
+		t.Fatalf("search span count = %d", spans[1].Count)
+	}
+}
+
+func TestWithoutCache(t *testing.T) {
+	f := newFake(t)
+	e := New(f, WithoutCache())
+	s := variant(f.sp, 64, 1)
+	e.Measure(s)
+	e.Measure(s)
+	if n := f.callCount(s); n != 2 {
+		t.Fatalf("WithoutCache inner calls = %d, want 2", n)
+	}
+	if e.Stats().CacheHits != 0 {
+		t.Fatal("cache hit counted with cache disabled")
+	}
+}
+
+func TestArchitectureForwarding(t *testing.T) {
+	sp, err := space.New(stencil.Helmholtz())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := sim.New(sp, gpu.A100())
+	if arch := New(s).Architecture(); arch == nil || arch.Name != "A100" {
+		t.Fatalf("arch = %v", arch)
+	}
+	if New(newFake(t)).Architecture() != nil {
+		t.Fatal("fake objective has no architecture")
+	}
+	if sim.ArchOf(New(s)) == nil {
+		t.Fatal("ArchOf must see through the engine")
+	}
+}

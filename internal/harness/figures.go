@@ -6,6 +6,7 @@ import (
 	"sort"
 	"strings"
 
+	"repro/internal/engine"
 	"repro/internal/space"
 	"repro/internal/stats"
 )
@@ -20,27 +21,44 @@ type MotivationSample struct {
 
 // CollectMotivation randomly samples n valid settings of the fixture's
 // stencil and measures them (paper Sec. III samples >20,000 per stencil;
-// the sample size is a knob so tests stay fast).
+// the sample size is a knob so tests stay fast). Measurement goes through a
+// throwaway evaluation engine so the chunks run on its worker pool; the
+// chunk-and-replay loop keeps sample selection identical to drawing and
+// measuring one setting at a time.
 func CollectMotivation(fx *Fixture, n int, seed int64) (*MotivationSample, error) {
 	rng := rand.New(rand.NewSource(seed))
+	eng := engine.New(fx.Sim)
 	ms := &MotivationSample{Stencil: fx.Stencil.Name}
 	seen := map[string]struct{}{}
 	tries := 0
-	for len(ms.Times) < n && tries < 1000*n {
-		tries++
-		set := fx.Space.Random(rng)
-		if _, dup := seen[set.Key()]; dup {
-			continue
+	maxTries := 1000 * n
+	for len(ms.Times) < n && tries < maxTries {
+		chunk := 2 * n
+		if chunk > maxTries-tries {
+			chunk = maxTries - tries
 		}
-		t, err := fx.Sim.Measure(set)
-		if err != nil {
-			continue
+		draws := make([]space.Setting, chunk)
+		for i := range draws {
+			draws[i] = fx.Space.Random(rng)
 		}
-		seen[set.Key()] = struct{}{}
-		ms.Times = append(ms.Times, t)
-		ms.Settings = append(ms.Settings, set)
-		if ms.BestMS == 0 || t < ms.BestMS {
-			ms.BestMS = t
+		out := eng.MeasureBatch(draws) // memoized: repeated keys measure once
+		for i, set := range draws {
+			if len(ms.Times) == n {
+				break
+			}
+			tries++
+			if _, dup := seen[set.Key()]; dup {
+				continue
+			}
+			if out[i].Err != nil {
+				continue
+			}
+			seen[set.Key()] = struct{}{}
+			ms.Times = append(ms.Times, out[i].MS)
+			ms.Settings = append(ms.Settings, set)
+			if ms.BestMS == 0 || out[i].MS < ms.BestMS {
+				ms.BestMS = out[i].MS
+			}
 		}
 	}
 	if len(ms.Times) < n {

@@ -78,8 +78,23 @@ func TestMeterBudget(t *testing.T) {
 	if !m.Exhausted() {
 		t.Fatalf("budget (%v spent of 15) should be exhausted", m.SpentS())
 	}
-	if _, err := m.Measure(set); !errors.Is(err, ErrBudget) {
+	// A fresh setting is refused once the budget is spent...
+	fresh := set.Clone()
+	fresh[space.TBX] = 16
+	if _, err := m.Measure(fresh); !errors.Is(err, ErrBudget) {
 		t.Fatalf("expected ErrBudget, got %v", err)
+	}
+	// ...but re-probing an already-measured setting is a free cache hit —
+	// real tuners never recompile a variant they already timed.
+	spent := m.SpentS()
+	if ms, err := m.Measure(set); err != nil || ms <= 0 {
+		t.Fatalf("cached re-probe = %v/%v", ms, err)
+	}
+	if m.SpentS() != spent {
+		t.Fatal("cache hit must not consume budget")
+	}
+	if hits := m.Stats().CacheHits; hits != 1 {
+		t.Fatalf("CacheHits = %d, want 1", hits)
 	}
 }
 

@@ -8,180 +8,39 @@
 // its kernel runs, every rejected setting a constraint-check cost. The
 // iso-time protocol compares methods at equal virtual seconds, exactly as
 // the paper compares them at equal wall-clock seconds on the testbed.
+//
+// The metering itself lives in internal/engine — the unified evaluation
+// engine every tuner measures through; the harness "meter" is that engine
+// configured with a cost model and a budget.
 package harness
 
 import (
-	"sort"
-	"sync"
-
-	"repro/internal/gpu"
+	"repro/internal/engine"
 	"repro/internal/sim"
-	"repro/internal/space"
 )
 
 // CostModel prices one evaluation on the virtual clock.
-type CostModel struct {
-	// CompileS is charged per distinct measured setting (nvcc + load).
-	CompileS float64
-	// Reps is how many times the kernel runs per measurement; the run time
-	// itself is the simulated kernel time.
-	Reps int
-	// CheckS is charged per rejected setting (constraint check only).
-	CheckS float64
-}
+type CostModel = engine.CostModel
 
 // DefaultCostModel approximates the paper's testbed: a few seconds of nvcc
 // per variant dominates, with kernels re-run a handful of times.
-func DefaultCostModel() CostModel {
-	return CostModel{CompileS: 1.5, Reps: 3, CheckS: 0.005}
-}
+func DefaultCostModel() CostModel { return engine.DefaultCostModel() }
 
 // ErrBudget is returned by Meter.Measure once the budget is exhausted.
 var ErrBudget = sim.ErrBudget
 
 // Point is one trajectory sample: after spending CostS virtual seconds and
 // Evals measurements, the best time seen so far was BestMS.
-type Point struct {
-	CostS  float64
-	Evals  int
-	BestMS float64
-}
+type Point = engine.Point
 
-// Meter wraps an objective with virtual-cost accounting and best-so-far
-// trajectory recording. It implements sim.Objective and is safe for
+// Meter is the budgeted evaluation engine: virtual-cost accounting,
+// memoizing measurement cache, best-so-far trajectory recording, and the
+// observability counters. It implements sim.Objective and is safe for
 // concurrent use (csTuner's GA measures from several goroutines).
-type Meter struct {
-	obj  sim.Objective
-	cost CostModel
+type Meter = engine.Engine
 
-	// BudgetS stops the search once the virtual clock passes it; 0 means
-	// unlimited (iso-iteration runs use evaluation counts instead).
-	BudgetS float64
-
-	mu      sync.Mutex
-	spentS  float64
-	evals   int
-	best    float64
-	bestSet space.Setting
-	traj    []Point
-}
-
-// NewMeter wraps obj.
+// NewMeter wraps obj in an engine charging cost against budgetS virtual
+// seconds (0 = unlimited).
 func NewMeter(obj sim.Objective, cost CostModel, budgetS float64) *Meter {
-	return &Meter{obj: obj, cost: cost, BudgetS: budgetS, best: -1}
-}
-
-// Space implements sim.Objective.
-func (m *Meter) Space() *space.Space { return m.obj.Space() }
-
-// Architecture forwards the wrapped objective's GPU model, when it has one,
-// so csTuner's code-generation stage works through the meter.
-func (m *Meter) Architecture() *gpu.Arch {
-	if ap, ok := m.obj.(interface{ Architecture() *gpu.Arch }); ok {
-		return ap.Architecture()
-	}
-	return nil
-}
-
-// Measure implements sim.Objective with cost accounting.
-func (m *Meter) Measure(s space.Setting) (float64, error) {
-	m.mu.Lock()
-	if m.BudgetS > 0 && m.spentS >= m.BudgetS {
-		m.mu.Unlock()
-		return 0, ErrBudget
-	}
-	m.mu.Unlock()
-
-	ms, err := m.obj.Measure(s)
-
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	if err != nil {
-		m.spentS += m.cost.CheckS
-		return 0, err
-	}
-	m.spentS += m.cost.CompileS + float64(m.cost.Reps)*ms/1000
-	m.evals++
-	if m.best < 0 || ms < m.best {
-		m.best = ms
-		m.bestSet = s.Clone()
-	}
-	m.traj = append(m.traj, Point{CostS: m.spentS, Evals: m.evals, BestMS: m.best})
-	return ms, nil
-}
-
-// Exhausted reports whether the budget has been spent; tuners poll this as
-// their stop function.
-func (m *Meter) Exhausted() bool {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	return m.BudgetS > 0 && m.spentS >= m.BudgetS
-}
-
-// SpentS returns the virtual seconds consumed so far.
-func (m *Meter) SpentS() float64 {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	return m.spentS
-}
-
-// ChargeS adds out-of-band cost (e.g. csTuner's real pre-processing time)
-// to the virtual clock.
-func (m *Meter) ChargeS(s float64) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	m.spentS += s
-}
-
-// Evals returns the number of successful measurements.
-func (m *Meter) Evals() int {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	return m.evals
-}
-
-// Best returns the best observation, or ok=false when nothing measured.
-func (m *Meter) Best() (space.Setting, float64, bool) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	if m.best < 0 {
-		return nil, 0, false
-	}
-	return m.bestSet.Clone(), m.best, true
-}
-
-// BestAtEvals returns the best time after the first n measurements, or
-// ok=false when fewer than one measurement happened.
-func (m *Meter) BestAtEvals(n int) (float64, bool) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	if len(m.traj) == 0 || n < 1 {
-		return 0, false
-	}
-	i := sort.Search(len(m.traj), func(k int) bool { return m.traj[k].Evals > n })
-	if i == 0 {
-		return 0, false
-	}
-	return m.traj[i-1].BestMS, true
-}
-
-// BestAtCost returns the best time once the virtual clock reached s seconds.
-func (m *Meter) BestAtCost(s float64) (float64, bool) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	if len(m.traj) == 0 {
-		return 0, false
-	}
-	i := sort.Search(len(m.traj), func(k int) bool { return m.traj[k].CostS > s })
-	if i == 0 {
-		return 0, false
-	}
-	return m.traj[i-1].BestMS, true
-}
-
-// Trajectory returns a copy of the recorded points.
-func (m *Meter) Trajectory() []Point {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	return append([]Point(nil), m.traj...)
+	return engine.New(obj, engine.WithCost(cost), engine.WithBudget(budgetS))
 }

@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/baselines"
 	"repro/internal/dataset"
+	"repro/internal/engine"
 	"repro/internal/gpu"
 	"repro/internal/sim"
 	"repro/internal/space"
@@ -31,7 +32,10 @@ func NewFixture(st *stencil.Stencil, arch *gpu.Arch, dsSize int, seed int64) (*F
 		return nil, err
 	}
 	s := sim.New(sp, arch)
-	ds, err := dataset.Collect(s, rand.New(rand.NewSource(seed)), dsSize, 0)
+	// Collection parallelizes through a throwaway engine: the rng is local,
+	// so CollectBatch's overdraw is harmless, and the collection cache never
+	// leaks into the metered tuning runs built on this fixture.
+	ds, err := dataset.CollectBatch(engine.New(s), rand.New(rand.NewSource(seed)), dsSize, 0)
 	if err != nil {
 		return nil, err
 	}

@@ -26,6 +26,23 @@ import (
 // budget" (transient) without import cycles.
 var ErrBudget = errors.New("sim: evaluation budget exhausted")
 
+// ArchProvider is the optional interface an Objective (or a wrapper such as
+// the evaluation engine) implements when a modelled GPU backs it. The
+// codegen stage reaches the target architecture through it, so wrapping an
+// objective never severs code generation.
+type ArchProvider interface {
+	Architecture() *gpu.Arch
+}
+
+// ArchOf returns the architecture behind obj, unwrapping through any
+// ArchProvider, or nil when none is exposed.
+func ArchOf(obj Objective) *gpu.Arch {
+	if ap, ok := obj.(ArchProvider); ok {
+		return ap.Architecture()
+	}
+	return nil
+}
+
 // Objective is the measurement interface every auto-tuner in this repository
 // searches against: a parameter space plus a black-box measure function.
 // The simulator implements it; tests substitute synthetic objectives.
