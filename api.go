@@ -1,6 +1,7 @@
 package cstuner
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"math/rand"
@@ -148,18 +149,33 @@ func (s *Session) Tune(cfg Config) (*Report, error) {
 	return core.Tune(s.sim, nil, cfg, nil)
 }
 
+// TuneCtx is Tune under a caller context: cancelling ctx (or letting its
+// deadline pass) stops the tuning session promptly. A cancelled run returns
+// its partial Report — the best setting measured before the cut plus the
+// engine's counters — alongside ctx's error.
+func (s *Session) TuneCtx(ctx context.Context, cfg Config) (*Report, error) {
+	return core.TuneCtx(ctx, s.sim, nil, cfg, nil)
+}
+
 // TuneWithBudget runs csTuner under a virtual auto-tuning budget (seconds of
 // compile+run time, as metered by the engine cost model). The offline
 // stencil dataset is collected unmetered through a throwaway engine,
 // matching the paper's accounting (metric collection is a one-time offline
 // step, Sec. V-F) and keeping the collection cache out of the budgeted run.
 func (s *Session) TuneWithBudget(cfg Config, budgetS float64) (*Report, error) {
+	return s.TuneWithBudgetCtx(context.Background(), cfg, budgetS)
+}
+
+// TuneWithBudgetCtx is TuneWithBudget under a caller context; the virtual
+// budget and the context deadline race, and whichever trips first ends the
+// run.
+func (s *Session) TuneWithBudgetCtx(ctx context.Context, cfg Config, budgetS float64) (*Report, error) {
 	ds, err := dataset.CollectBatch(engine.New(s.sim), rand.New(rand.NewSource(cfg.Seed)), cfg.DatasetSize, 0)
 	if err != nil {
 		return nil, err
 	}
 	eng := engine.New(s.sim, engine.WithCost(engine.DefaultCostModel()), engine.WithBudget(budgetS))
-	return core.Tune(eng, ds, cfg, eng.Exhausted)
+	return core.TuneCtx(ctx, eng, ds, cfg, eng.Exhausted)
 }
 
 // Comparator names accepted by RunComparator.
@@ -174,6 +190,13 @@ const (
 // returns its best setting and kernel time. Garvey and csTuner collect their
 // offline dataset internally (seeded deterministically).
 func (s *Session) RunComparator(method string, budgetS float64, seed int64) (Setting, float64, error) {
+	return s.RunComparatorCtx(context.Background(), method, budgetS, seed)
+}
+
+// RunComparatorCtx is RunComparator under a caller context: cancellation
+// stops the comparator promptly, and the best setting it measured before
+// the cut is returned.
+func (s *Session) RunComparatorCtx(ctx context.Context, method string, budgetS float64, seed int64) (Setting, float64, error) {
 	var t baselines.Tuner
 	switch method {
 	case MethodCsTuner:
@@ -192,7 +215,7 @@ func (s *Session) RunComparator(method string, budgetS float64, seed int64) (Set
 		return nil, 0, err
 	}
 	eng := engine.New(fx.Sim, engine.WithCost(engine.DefaultCostModel()), engine.WithBudget(budgetS))
-	_, _, tuneErr := t.Tune(eng, fx.DS, seed, eng.Exhausted)
+	_, _, tuneErr := t.Tune(ctx, eng, fx.DS, seed, eng.Exhausted)
 	set, ms, ok := eng.Best()
 	if !ok {
 		if tuneErr != nil {

@@ -8,6 +8,7 @@ package cstuner
 // b.ReportMetric, so `go test -bench=.` regenerates every result series.
 
 import (
+	"context"
 	"io"
 	"math"
 	"math/rand"
@@ -115,7 +116,7 @@ func BenchmarkFig8IsoIteration(b *testing.B) {
 	methods := harness.Methods()
 	var last float64
 	for i := 0; i < b.N; i++ {
-		curve, err := harness.IsoIterationCurve(methods[0], fx, 5, o.PopSize, o.Seed+int64(i))
+		curve, err := harness.IsoIterationCurve(context.Background(), methods[0], fx, 5, o.PopSize, o.Seed+int64(i))
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -130,7 +131,7 @@ func BenchmarkFig9IsoTime(b *testing.B) {
 	methods := harness.Methods()
 	var best float64
 	for i := 0; i < b.N; i++ {
-		res, err := harness.IsoTimeRun(methods[0], fx, o.BudgetS, 0, o.Seed+int64(i))
+		res, err := harness.IsoTimeRun(context.Background(), methods[0], fx, o.BudgetS, 0, o.Seed+int64(i))
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -179,7 +180,7 @@ func BenchmarkFig12Overhead(b *testing.B) {
 	b.ReportMetric(100*ratio, "%preproc-vs-search")
 }
 
-// ---- Ablation benches (DESIGN.md §5): quantify each design choice ---------
+// ---- Ablation benches (DESIGN.md §7): quantify each design choice ---------
 
 // ablationTune runs csTuner with a modified config and reports the best
 // time under a fixed budget.
@@ -195,7 +196,7 @@ func ablationTune(b *testing.B, mutate func(*core.Config)) {
 		cfg.EmitKernels = false
 		mutate(&cfg)
 		meter := harness.NewMeter(fx.Sim, harness.DefaultCostModel(), o.BudgetS)
-		rep, err := core.Tune(meter, fx.DS, cfg, meter.Exhausted)
+		rep, err := core.TuneCtx(context.Background(), meter, fx.DS, cfg, meter.Exhausted)
 		if err != nil {
 			b.Fatal(err)
 		}

@@ -129,7 +129,7 @@ func main() {
 		})
 	}
 	if *all || *ablation {
-		run("Ablation (design choices, DESIGN.md §5)", func() error {
+		run("Ablation (design choices, DESIGN.md §7)", func() error {
 			_, err := harness.Ablation(w, o)
 			return err
 		})

@@ -13,19 +13,59 @@ const (
 	goldenTune = "TBx=64 TBy=8 TBz=1 useShared=2 useConstant=1 useStreaming=2 " +
 		"SD=3 SB=32 UFx=1 UFy=2 UFz=1 CMx=1 CMy=1 CMz=1 BMx=1 BMy=2 BMz=1 " +
 		"useRetiming=2 usePrefetching=2 bestms=1.3795474914"
-	goldenCsTuner = "TBx=64 TBy=4 TBz=1 useShared=1 useConstant=1 useStreaming=1 " +
-		"SD=1 SB=1 UFx=1 UFy=1 UFz=1 CMx=1 CMy=1 CMz=1 BMx=1 BMy=1 BMz=1 " +
-		"useRetiming=1 usePrefetching=1 bestms=1.8931377432"
-	goldenGarvey = "TBx=64 TBy=4 TBz=1 useShared=1 useConstant=1 useStreaming=1 " +
-		"SD=1 SB=1 UFx=1 UFy=1 UFz=1 CMx=1 CMy=1 CMz=1 BMx=1 BMy=1 BMz=1 " +
-		"useRetiming=1 usePrefetching=1 bestms=1.8931377432"
-	goldenOpenTuner = "TBx=32 TBy=1 TBz=1 useShared=2 useConstant=2 useStreaming=1 " +
-		"SD=1 SB=1 UFx=2 UFy=2 UFz=2 CMx=1 CMy=1 CMz=1 BMx=1 BMy=1 BMz=2 " +
-		"useRetiming=2 usePrefetching=1 bestms=1.5684872239"
-	goldenArtemis = "TBx=32 TBy=2 TBz=1 useShared=1 useConstant=1 useStreaming=2 " +
-		"SD=3 SB=32 UFx=1 UFy=1 UFz=1 CMx=1 CMy=1 CMz=1 BMx=1 BMy=1 BMz=1 " +
-		"useRetiming=1 usePrefetching=1 bestms=1.6727884550"
 )
+
+// goldenComparator pins every baseline tuner at three seeds each (budget 40,
+// j3d7pt/a100). Seed 3 is the original pre-engine capture; seeds 5 and 9
+// were captured from the same pipeline and pin the seed-sensitivity of each
+// method, so a drift limited to one seed (an RNG-consumption change) is
+// distinguishable from a global measurement drift.
+var goldenComparator = map[string]map[int64]string{
+	MethodCsTuner: {
+		3: "TBx=64 TBy=4 TBz=1 useShared=1 useConstant=1 useStreaming=1 " +
+			"SD=1 SB=1 UFx=1 UFy=1 UFz=1 CMx=1 CMy=1 CMz=1 BMx=1 BMy=1 BMz=1 " +
+			"useRetiming=1 usePrefetching=1 bestms=1.8931377432",
+		5: "TBx=64 TBy=4 TBz=1 useShared=1 useConstant=1 useStreaming=1 " +
+			"SD=1 SB=1 UFx=1 UFy=1 UFz=1 CMx=1 CMy=1 CMz=1 BMx=1 BMy=1 BMz=1 " +
+			"useRetiming=1 usePrefetching=1 bestms=1.8931377432",
+		9: "TBx=16 TBy=8 TBz=4 useShared=2 useConstant=1 useStreaming=2 " +
+			"SD=1 SB=1 UFx=1 UFy=1 UFz=1 CMx=1 CMy=1 CMz=1 BMx=1 BMy=1 BMz=1 " +
+			"useRetiming=1 usePrefetching=2 bestms=1.4466394496",
+	},
+	MethodGarvey: {
+		3: "TBx=64 TBy=4 TBz=1 useShared=1 useConstant=1 useStreaming=1 " +
+			"SD=1 SB=1 UFx=1 UFy=1 UFz=1 CMx=1 CMy=1 CMz=1 BMx=1 BMy=1 BMz=1 " +
+			"useRetiming=1 usePrefetching=1 bestms=1.8931377432",
+		5: "TBx=64 TBy=4 TBz=1 useShared=1 useConstant=2 useStreaming=1 " +
+			"SD=1 SB=1 UFx=1 UFy=1 UFz=1 CMx=1 CMy=1 CMz=1 BMx=1 BMy=1 BMz=1 " +
+			"useRetiming=1 usePrefetching=1 bestms=1.9609613939",
+		9: "TBx=128 TBy=4 TBz=1 useShared=1 useConstant=2 useStreaming=1 " +
+			"SD=1 SB=1 UFx=1 UFy=1 UFz=1 CMx=2 CMy=1 CMz=1 BMx=1 BMy=1 BMz=1 " +
+			"useRetiming=1 usePrefetching=1 bestms=1.9312112396",
+	},
+	MethodOpenTuner: {
+		3: "TBx=32 TBy=1 TBz=1 useShared=2 useConstant=2 useStreaming=1 " +
+			"SD=1 SB=1 UFx=2 UFy=2 UFz=2 CMx=1 CMy=1 CMz=1 BMx=1 BMy=1 BMz=2 " +
+			"useRetiming=2 usePrefetching=1 bestms=1.5684872239",
+		5: "TBx=16 TBy=16 TBz=4 useShared=2 useConstant=2 useStreaming=2 " +
+			"SD=1 SB=8 UFx=1 UFy=1 UFz=2 CMx=1 CMy=1 CMz=2 BMx=1 BMy=2 BMz=1 " +
+			"useRetiming=1 usePrefetching=1 bestms=1.4029488380",
+		9: "TBx=16 TBy=4 TBz=16 useShared=2 useConstant=2 useStreaming=1 " +
+			"SD=1 SB=1 UFx=2 UFy=1 UFz=2 CMx=1 CMy=4 CMz=2 BMx=1 BMy=1 BMz=1 " +
+			"useRetiming=1 usePrefetching=1 bestms=1.5459962411",
+	},
+	MethodArtemis: {
+		3: "TBx=32 TBy=2 TBz=1 useShared=1 useConstant=1 useStreaming=2 " +
+			"SD=3 SB=32 UFx=1 UFy=1 UFz=1 CMx=1 CMy=1 CMz=1 BMx=1 BMy=1 BMz=1 " +
+			"useRetiming=1 usePrefetching=1 bestms=1.6727884550",
+		5: "TBx=32 TBy=2 TBz=1 useShared=1 useConstant=1 useStreaming=2 " +
+			"SD=3 SB=32 UFx=1 UFy=1 UFz=1 CMx=1 CMy=1 CMz=1 BMx=1 BMy=1 BMz=1 " +
+			"useRetiming=1 usePrefetching=1 bestms=1.6727884550",
+		9: "TBx=32 TBy=2 TBz=1 useShared=1 useConstant=1 useStreaming=2 " +
+			"SD=3 SB=32 UFx=1 UFy=1 UFz=1 CMx=1 CMy=1 CMz=1 BMx=1 BMy=1 BMz=1 " +
+			"useRetiming=1 usePrefetching=1 bestms=1.6727884550",
+	},
+}
 
 func goldenFmt(set Setting, ms float64) string {
 	return fmt.Sprintf("%v bestms=%.10f", set, ms)
@@ -60,23 +100,20 @@ func TestGoldenSessionTune(t *testing.T) {
 }
 
 func TestGoldenRunComparator(t *testing.T) {
-	want := map[string]string{
-		MethodCsTuner:   goldenCsTuner,
-		MethodGarvey:    goldenGarvey,
-		MethodOpenTuner: goldenOpenTuner,
-		MethodArtemis:   goldenArtemis,
-	}
 	s, err := NewSessionFor("j3d7pt", "a100")
 	if err != nil {
 		t.Fatal(err)
 	}
 	for _, method := range []string{MethodCsTuner, MethodGarvey, MethodOpenTuner, MethodArtemis} {
-		set, ms, err := s.RunComparator(method, 40, 3)
-		if err != nil {
-			t.Fatalf("%s: %v", method, err)
-		}
-		if got := goldenFmt(set, ms); got != want[method] {
-			t.Fatalf("%s drifted from golden:\n got %s\nwant %s", method, got, want[method])
+		for _, seed := range []int64{3, 5, 9} {
+			set, ms, err := s.RunComparator(method, 40, seed)
+			if err != nil {
+				t.Fatalf("%s seed %d: %v", method, seed, err)
+			}
+			want := goldenComparator[method][seed]
+			if got := goldenFmt(set, ms); got != want {
+				t.Fatalf("%s seed %d drifted from golden:\n got %s\nwant %s", method, seed, got, want)
+			}
 		}
 	}
 }

@@ -7,6 +7,7 @@
 package artemis
 
 import (
+	"context"
 	"errors"
 	"math"
 	"math/rand"
@@ -38,10 +39,12 @@ type candidate struct {
 }
 
 // Tune implements baselines.Tuner.
-func (t *Tuner) Tune(obj sim.Objective, _ *dataset.Dataset, seed int64, stop func() bool) (space.Setting, float64, error) {
+func (t *Tuner) Tune(ctx context.Context, obj sim.Objective, _ *dataset.Dataset, seed int64, stop func() bool) (space.Setting, float64, error) {
 	if stop == nil {
 		stop = func() bool { return false }
 	}
+	userStop := stop
+	stop = func() bool { return userStop() || ctx.Err() != nil }
 	eng := engine.From(obj) // memoized: re-probing a known setting is free
 	sp := eng.Space()
 	rng := rand.New(rand.NewSource(seed))
@@ -51,7 +54,7 @@ func (t *Tuner) Tune(obj sim.Objective, _ *dataset.Dataset, seed int64, stop fun
 		if stop() {
 			return math.Inf(1)
 		}
-		ms, err := eng.Measure(s)
+		ms, err := eng.MeasureCtx(ctx, s)
 		if err != nil {
 			return math.Inf(1)
 		}

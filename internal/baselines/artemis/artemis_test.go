@@ -1,6 +1,7 @@
 package artemis
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 
@@ -61,7 +62,7 @@ func TestTopOrdering(t *testing.T) {
 func TestTuneHierarchyImproves(t *testing.T) {
 	obj := objective(t, stencil.AddSGD6())
 	a := New()
-	best, ms, err := a.Tune(obj, nil, 4, nil)
+	best, ms, err := a.Tune(context.Background(), obj, nil, 4, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -80,7 +81,7 @@ func TestTuneHierarchyImproves(t *testing.T) {
 func TestTuneStopsImmediately(t *testing.T) {
 	obj := objective(t, stencil.J3D7PT())
 	a := New()
-	_, _, err := a.Tune(obj, nil, 1, func() bool { return true })
+	_, _, err := a.Tune(context.Background(), obj, nil, 1, func() bool { return true })
 	// With stop always true, nothing gets measured: must error, not hang
 	// or return garbage.
 	if err == nil {

@@ -5,6 +5,8 @@
 package baselines
 
 import (
+	"context"
+
 	"repro/internal/dataset"
 	"repro/internal/sim"
 	"repro/internal/space"
@@ -12,12 +14,16 @@ import (
 
 // Tuner is one auto-tuning method. Implementations must honour stop() —
 // polled at least once per measurement — so the harness can enforce
-// iso-time budgets, and must be deterministic for a given seed.
+// iso-time budgets, must observe ctx between measurements so a caller can
+// cancel or deadline a whole tuning session, and must be deterministic for
+// a given seed (ctx permitting).
 type Tuner interface {
 	Name() string
 	// Tune searches for the fastest setting. ds is the offline stencil
 	// dataset; methods that do not use one (OpenTuner, Artemis) ignore it.
-	Tune(obj sim.Objective, ds *dataset.Dataset, seed int64, stop func() bool) (space.Setting, float64, error)
+	// A cancelled ctx stops the search promptly; the best setting measured
+	// before cancellation is returned.
+	Tune(ctx context.Context, obj sim.Objective, ds *dataset.Dataset, seed int64, stop func() bool) (space.Setting, float64, error)
 }
 
 // Tracker accumulates the best observation across measurements; shared by

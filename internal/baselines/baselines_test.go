@@ -1,6 +1,7 @@
 package baselines_test
 
 import (
+	"context"
 	"math/rand"
 	"sync/atomic"
 	"testing"
@@ -51,7 +52,7 @@ func TestAllTunersBeatRandom(t *testing.T) {
 	median := ds.Samples[idx[len(idx)/2]].TimeMS
 
 	for _, tn := range allTuners() {
-		best, ms, err := tn.Tune(s, ds, 7, nil)
+		best, ms, err := tn.Tune(context.Background(), s, ds, 7, nil)
 		if err != nil {
 			t.Fatalf("%s: %v", tn.Name(), err)
 		}
@@ -77,7 +78,7 @@ func TestTunersHonourStop(t *testing.T) {
 	for _, tn := range allTuners() {
 		var polls int64
 		stop := func() bool { return atomic.AddInt64(&polls, 1) > 25 }
-		_, _, err := tn.Tune(s, ds, 3, stop)
+		_, _, err := tn.Tune(context.Background(), s, ds, 3, stop)
 		// Stopping early may leave no valid measurement for some methods;
 		// both a best-so-far result and a clean error are acceptable, but
 		// the search must not run unbounded.
@@ -90,8 +91,8 @@ func TestTunersHonourStop(t *testing.T) {
 func TestTunersDeterministic(t *testing.T) {
 	s, ds := fixture(t)
 	for _, tn := range allTuners() {
-		b1, ms1, err1 := tn.Tune(s, ds, 42, nil)
-		b2, ms2, err2 := tn.Tune(s, ds, 42, nil)
+		b1, ms1, err1 := tn.Tune(context.Background(), s, ds, 42, nil)
+		b2, ms2, err2 := tn.Tune(context.Background(), s, ds, 42, nil)
 		if (err1 == nil) != (err2 == nil) {
 			t.Fatalf("%s: nondeterministic error", tn.Name())
 		}
@@ -106,7 +107,7 @@ func TestTunersDeterministic(t *testing.T) {
 
 func TestGarveyRequiresDataset(t *testing.T) {
 	s, _ := fixture(t)
-	if _, _, err := garvey.New().Tune(s, nil, 1, nil); err == nil {
+	if _, _, err := garvey.New().Tune(context.Background(), s, nil, 1, nil); err == nil {
 		t.Fatal("garvey without dataset should error")
 	}
 }
@@ -115,7 +116,7 @@ func TestOpenTunerEnsemble(t *testing.T) {
 	s, ds := fixture(t)
 	ot := opentuner.NewEnsemble()
 	ot.MaxRounds = 15
-	best, ms, err := ot.Tune(s, ds, 5, nil)
+	best, ms, err := ot.Tune(context.Background(), s, ds, 5, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -128,7 +129,7 @@ func TestOpenTunerUnknownTechnique(t *testing.T) {
 	s, _ := fixture(t)
 	ot := opentuner.New()
 	ot.Techniques = []string{"simulated-annealing"}
-	if _, _, err := ot.Tune(s, nil, 1, nil); err == nil {
+	if _, _, err := ot.Tune(context.Background(), s, nil, 1, nil); err == nil {
 		t.Fatal("unknown technique should error")
 	}
 }
@@ -164,7 +165,7 @@ func TestCsTunerAdapterKeepsReport(t *testing.T) {
 	cs.Cfg.Sampling.PoolSize = 256
 	cs.Cfg.GA.MaxGenerations = 6
 	cs.Cfg.EmitKernels = false
-	if _, _, err := cs.Tune(s, ds, 1, nil); err != nil {
+	if _, _, err := cs.Tune(context.Background(), s, ds, 1, nil); err != nil {
 		t.Fatal(err)
 	}
 	if cs.LastReport == nil || len(cs.LastReport.Groups) == 0 {

@@ -4,6 +4,8 @@
 package cstuner
 
 import (
+	"context"
+
 	"repro/internal/baselines"
 	"repro/internal/core"
 	"repro/internal/dataset"
@@ -26,13 +28,19 @@ func New() *Tuner { return &Tuner{Cfg: core.DefaultConfig()} }
 func (t *Tuner) Name() string { return "cstuner" }
 
 // Tune implements baselines.Tuner.
-func (t *Tuner) Tune(obj sim.Objective, ds *dataset.Dataset, seed int64, stop func() bool) (space.Setting, float64, error) {
+func (t *Tuner) Tune(ctx context.Context, obj sim.Objective, ds *dataset.Dataset, seed int64, stop func() bool) (space.Setting, float64, error) {
 	cfg := t.Cfg
 	cfg.Seed = seed
 	// core.Tune routes every measurement through the evaluation engine
 	// (internal/engine), which memoizes — no extra cache layer needed here.
-	rep, err := core.Tune(obj, ds, cfg, stop)
+	rep, err := core.TuneCtx(ctx, obj, ds, cfg, stop)
 	if err != nil {
+		// A cancelled run with a usable partial best behaves like a
+		// budget-stop: the tuner reports what it found before the cut.
+		if ctx.Err() != nil && rep != nil && rep.Best != nil {
+			t.LastReport = rep
+			return rep.Best, rep.BestMS, nil
+		}
 		return nil, 0, err
 	}
 	t.LastReport = rep

@@ -1,6 +1,7 @@
 package cstuner
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 
@@ -38,11 +39,11 @@ func TestAdapterSeedsConfig(t *testing.T) {
 	a.Cfg.Sampling.PoolSize = 256
 	a.Cfg.GA.MaxGenerations = 6
 	a.Cfg.EmitKernels = false
-	b1, ms1, err := a.Tune(s, ds, 11, nil)
+	b1, ms1, err := a.Tune(context.Background(), s, ds, 11, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
-	b2, ms2, err := a.Tune(s, ds, 11, nil)
+	b2, ms2, err := a.Tune(context.Background(), s, ds, 11, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -57,7 +58,7 @@ func TestAdapterSeedsConfig(t *testing.T) {
 	// across many seeds are not).
 	evals := map[int]bool{}
 	for seed := int64(0); seed < 4; seed++ {
-		if _, _, err := a.Tune(s, ds, seed, nil); err != nil {
+		if _, _, err := a.Tune(context.Background(), s, ds, seed, nil); err != nil {
 			t.Fatal(err)
 		}
 		evals[a.LastReport.Evaluations] = true
@@ -82,7 +83,7 @@ func TestAdapterEmitsThroughSimulator(t *testing.T) {
 		_, err := kernel.Build(sp, set, arch)
 		return err == nil
 	}
-	if _, _, err := a.Tune(s, ds, 1, nil); err != nil {
+	if _, _, err := a.Tune(context.Background(), s, ds, 1, nil); err != nil {
 		t.Fatal(err)
 	}
 	if a.LastReport.GeneratedCUDA == 0 || a.LastReport.GeneratedCUDA != a.LastReport.SampledSize {

@@ -11,6 +11,7 @@
 package garvey
 
 import (
+	"context"
 	"errors"
 	"math"
 	"math/rand"
@@ -51,13 +52,15 @@ func dimensionGroups() [][]int {
 }
 
 // Tune implements baselines.Tuner.
-func (t *Tuner) Tune(obj sim.Objective, ds *dataset.Dataset, seed int64, stop func() bool) (space.Setting, float64, error) {
+func (t *Tuner) Tune(ctx context.Context, obj sim.Objective, ds *dataset.Dataset, seed int64, stop func() bool) (space.Setting, float64, error) {
 	if ds == nil || len(ds.Samples) == 0 {
 		return nil, 0, errors.New("garvey: requires an offline experience dataset")
 	}
 	if stop == nil {
 		stop = func() bool { return false }
 	}
+	userStop := stop
+	stop = func() bool { return userStop() || ctx.Err() != nil }
 	eng := engine.From(obj) // memoized: re-probing a known setting is free
 	sp := eng.Space()
 	rng := rand.New(rand.NewSource(seed))
@@ -67,7 +70,7 @@ func (t *Tuner) Tune(obj sim.Objective, ds *dataset.Dataset, seed int64, stop fu
 		if stop() {
 			return math.Inf(1)
 		}
-		ms, err := eng.Measure(s)
+		ms, err := eng.MeasureCtx(ctx, s)
 		if err != nil {
 			return math.Inf(1)
 		}

@@ -1,6 +1,7 @@
 package garvey
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 
@@ -113,7 +114,7 @@ func TestSampleRatio(t *testing.T) {
 func TestTuneImprovesOnDefault(t *testing.T) {
 	s, ds := fixture(t)
 	g := New()
-	best, ms, err := g.Tune(s, ds, 5, nil)
+	best, ms, err := g.Tune(context.Background(), s, ds, 5, nil)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -12,6 +12,7 @@
 package opentuner
 
 import (
+	"context"
 	"errors"
 	"math"
 	"math/rand"
@@ -68,10 +69,12 @@ func NewEnsemble() *Tuner {
 func (t *Tuner) Name() string { return "opentuner" }
 
 // Tune implements baselines.Tuner.
-func (t *Tuner) Tune(obj sim.Objective, _ *dataset.Dataset, seed int64, stop func() bool) (space.Setting, float64, error) {
+func (t *Tuner) Tune(ctx context.Context, obj sim.Objective, _ *dataset.Dataset, seed int64, stop func() bool) (space.Setting, float64, error) {
 	if stop == nil {
 		stop = func() bool { return false }
 	}
+	userStop := stop
+	stop = func() bool { return userStop() || ctx.Err() != nil }
 	eng := engine.From(obj) // memoized: re-probing a known setting is free
 	sp := eng.Space()
 	rng := rand.New(rand.NewSource(seed))
@@ -81,7 +84,7 @@ func (t *Tuner) Tune(obj sim.Objective, _ *dataset.Dataset, seed int64, stop fun
 		if stop() {
 			return math.Inf(1)
 		}
-		ms, err := eng.Measure(s)
+		ms, err := eng.MeasureCtx(ctx, s)
 		if err != nil {
 			return math.Inf(1)
 		}

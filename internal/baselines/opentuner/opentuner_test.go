@@ -1,6 +1,7 @@
 package opentuner
 
 import (
+	"context"
 	"math"
 	"math/rand"
 	"testing"
@@ -137,7 +138,7 @@ func TestBanditPrefersImprovingTechnique(t *testing.T) {
 	obj := objective(t)
 	ot := NewEnsemble()
 	ot.MaxRounds = 10
-	best, ms, err := ot.Tune(obj, nil, 3, nil)
+	best, ms, err := ot.Tune(context.Background(), obj, nil, 3, nil)
 	if err != nil {
 		t.Fatal(err)
 	}

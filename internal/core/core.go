@@ -8,6 +8,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -126,9 +127,22 @@ type Report struct {
 // evaluations — the harness uses it to enforce iso-time budgets; pass nil
 // for no budget.
 func Tune(obj sim.Objective, ds *dataset.Dataset, cfg Config, stop func() bool) (*Report, error) {
+	return TuneCtx(context.Background(), obj, ds, cfg, stop)
+}
+
+// TuneCtx is Tune under a run-level context: cancelling ctx (or passing one
+// with a deadline) stops the tuning session promptly — cancellation is
+// observed between measurements and at every stage boundary. A cancelled run
+// returns its partial Report (pipeline artefacts built so far, the best
+// setting known from the engine or the offline dataset, and the engine's
+// counter snapshot) alongside ctx's error; only a run cancelled before any
+// usable state exists returns a nil Report.
+func TuneCtx(ctx context.Context, obj sim.Objective, ds *dataset.Dataset, cfg Config, stop func() bool) (*Report, error) {
 	if stop == nil {
 		stop = func() bool { return false }
 	}
+	userStop := stop
+	stop = func() bool { return userStop() || ctx.Err() != nil }
 	eng := engine.From(obj)
 	sp := eng.Space()
 	rng := rand.New(rand.NewSource(cfg.Seed))
@@ -161,6 +175,9 @@ func Tune(obj sim.Objective, ds *dataset.Dataset, cfg Config, stop func() bool) 
 	}
 
 	rep := &Report{Models: map[string]*pmnf.Model{}}
+	if err := ctx.Err(); err != nil {
+		return partial(rep, eng, ds, statsBefore), err
+	}
 
 	// ---- Pre-processing: parameter grouping (Sec. IV-C) -----------------
 	t0 := time.Now()
@@ -173,6 +190,9 @@ func Tune(obj sim.Objective, ds *dataset.Dataset, cfg Config, stop func() bool) 
 	rep.Groups = groups
 	stopSpan()
 	rep.Overhead.Grouping = time.Since(t0)
+	if err := ctx.Err(); err != nil {
+		return partial(rep, eng, ds, statsBefore), err
+	}
 
 	// ---- Pre-processing: search-space sampling (Sec. IV-D) --------------
 	t0 = time.Now()
@@ -217,6 +237,9 @@ func Tune(obj sim.Objective, ds *dataset.Dataset, cfg Config, stop func() bool) 
 	rep.SampledSize = len(sampled.Settings)
 	stopSpan()
 	rep.Overhead.Sampling = time.Since(t0)
+	if err := ctx.Err(); err != nil {
+		return partial(rep, eng, ds, statsBefore), err
+	}
 
 	// ---- Pre-processing: code generation ---------------------------------
 	// The engine forwards sim.ArchProvider from the wrapped objective, so
@@ -240,7 +263,7 @@ func Tune(obj sim.Objective, ds *dataset.Dataset, cfg Config, stop func() bool) 
 
 	// ---- Evolutionary search (Sec. IV-E) ---------------------------------
 	stopSpan = eng.Time("search")
-	best, bestMS, err := search(eng, sampled, ds, cfg, rep, stop)
+	best, bestMS, err := search(ctx, eng, sampled, ds, cfg, rep, stop)
 	stopSpan()
 	if err != nil {
 		return nil, err
@@ -249,7 +272,28 @@ func Tune(obj sim.Objective, ds *dataset.Dataset, cfg Config, stop func() bool) 
 	rep.Engine = eng.Stats()
 	rep.Evaluations = rep.Engine.Evaluations - statsBefore.Evaluations
 	rep.Spans = eng.Spans()
+	if err := ctx.Err(); err != nil {
+		return rep, err
+	}
 	return rep, nil
+}
+
+// partial finalizes a report for a run cut short by context cancellation:
+// the best known result so far (the engine's best measurement, else the
+// offline dataset's best sample), the engine counter snapshot, and the
+// timing spans. The report is well-formed; only Best may be nil when the
+// run was cancelled before anything was measured.
+func partial(rep *Report, eng *engine.Engine, ds *dataset.Dataset, statsBefore engine.Stats) *Report {
+	if s, ms, ok := eng.Best(); ok {
+		rep.Best, rep.BestMS = s, ms
+	} else if ds != nil && len(ds.Samples) > 0 {
+		b := ds.Best()
+		rep.Best, rep.BestMS = b.Setting.Clone(), b.TimeMS
+	}
+	rep.Engine = eng.Stats()
+	rep.Evaluations = rep.Engine.Evaluations - statsBefore.Evaluations
+	rep.Spans = eng.Spans()
+	return rep
 }
 
 // metricNames lists the metric keys present in the dataset's first sample,
@@ -272,7 +316,7 @@ func metricNames(ds *dataset.Dataset) []string {
 // The engine carries the measurement cache, budget accounting and global
 // best-tracking, so search keeps no concurrent state of its own: the GA
 // sub-populations measure straight through the engine.
-func search(eng *engine.Engine, sampled *sampling.Sampled, ds *dataset.Dataset,
+func search(ctx context.Context, eng *engine.Engine, sampled *sampling.Sampled, ds *dataset.Dataset,
 	cfg Config, rep *Report, stop func() bool) (space.Setting, float64, error) {
 
 	sp := eng.Space()
@@ -289,7 +333,7 @@ func search(eng *engine.Engine, sampled *sampling.Sampled, ds *dataset.Dataset,
 		if stop() {
 			return math.Inf(1)
 		}
-		ms, err := eng.Measure(s)
+		ms, err := eng.MeasureCtx(ctx, s)
 		if err != nil {
 			return math.Inf(1)
 		}

@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"context"
 	"errors"
 	"sync"
 
@@ -37,17 +38,24 @@ type BatchResult struct {
 // whose sequential position falls past the budget return ErrBudget (their
 // speculative measurement is discarded; the simulated objective is cheap).
 func (e *Engine) MeasureBatch(settings []space.Setting) []BatchResult {
+	return e.MeasureBatchCtx(context.Background(), settings)
+}
+
+// MeasureBatchCtx is the context-aware MeasureBatch. Measurement episodes
+// (including their retry loops) run in the parallel phase and touch no
+// accounting state; every fault, retry and backoff decision is a pure
+// function of (engine seed, setting key, attempt), so the batch outcome —
+// results, stats, trajectory and quarantine set — is identical at any
+// worker count. On cancellation the settings not yet accounted return the
+// context's error.
+func (e *Engine) MeasureBatchCtx(ctx context.Context, settings []space.Setting) []BatchResult {
 	out := make([]BatchResult, len(settings))
 	if len(settings) == 0 {
 		return out
 	}
 
-	// Phase 1: resolve raw values for every key not already cached, in
-	// parallel, without touching the accounting state.
-	type raw struct {
-		ms  float64
-		err error
-	}
+	// Phase 1: resolve a full measurement episode for every key not already
+	// cached or quarantined, in parallel, without touching accounting state.
 	keys := make([]string, len(settings))
 	need := make([]int, 0, len(settings)) // first input index per missing key
 	seen := map[string]struct{}{}
@@ -57,6 +65,9 @@ func (e *Engine) MeasureBatch(settings []space.Setting) []BatchResult {
 			continue
 		}
 		seen[keys[i]] = struct{}{}
+		if e.quarantined(keys[i], false) {
+			continue // refusal is served (and counted) in phase 2
+		}
 		if !e.noCache {
 			e.mu.Lock()
 			_, hitT := e.times[keys[i]]
@@ -68,14 +79,14 @@ func (e *Engine) MeasureBatch(settings []space.Setting) []BatchResult {
 		}
 		need = append(need, i)
 	}
-	raws := make(map[string]raw, len(need))
-	var rawMu sync.Mutex
+	eps := make(map[string]episode, len(need))
+	var epMu sync.Mutex
 	e.forEach(len(need), func(k int) {
 		i := need[k]
-		ms, err := e.obj.Measure(settings[i])
-		rawMu.Lock()
-		raws[keys[i]] = raw{ms: ms, err: err}
-		rawMu.Unlock()
+		ep := e.measureEpisode(ctx, settings[i], keys[i])
+		epMu.Lock()
+		eps[keys[i]] = ep
+		epMu.Unlock()
 	})
 
 	// Phase 2: sequential accounting in input order. Duplicate settings in
@@ -85,16 +96,26 @@ func (e *Engine) MeasureBatch(settings []space.Setting) []BatchResult {
 			out[i] = BatchResult{MS: ms, Err: err}
 			continue
 		}
+		if e.quarantined(keys[i], true) {
+			out[i] = BatchResult{Err: ErrQuarantined}
+			continue
+		}
+		if err := ctx.Err(); err != nil {
+			e.mu.Lock()
+			e.stats.Canceled++
+			e.mu.Unlock()
+			out[i] = BatchResult{Err: err}
+			continue
+		}
 		if e.exhausted(true) {
 			out[i] = BatchResult{Err: ErrBudget}
 			continue
 		}
-		r, ok := raws[keys[i]]
-		if !ok { // noCache duplicate: reuse the single speculative probe
-			ms, err := e.obj.Measure(s)
-			r = raw{ms: ms, err: err}
+		ep, ok := eps[keys[i]]
+		if !ok { // noCache or uncached-error duplicate: run a fresh episode
+			ep = e.measureEpisode(ctx, s, keys[i])
 		}
-		ms, err := e.account(s, keys[i], r.ms, r.err)
+		ms, err := e.accountEpisode(s, keys[i], ep)
 		out[i] = BatchResult{MS: ms, Err: err}
 	}
 	return out

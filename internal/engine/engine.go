@@ -23,7 +23,7 @@
 package engine
 
 import (
-	"errors"
+	"context"
 	"runtime"
 	"sort"
 	"sync"
@@ -77,6 +77,23 @@ type Stats struct {
 	// BudgetTrips counts measurements refused because the virtual budget
 	// was already spent.
 	BudgetTrips int
+	// Transient counts transient measurement errors observed from the
+	// objective (injected faults, flaky timers, per-measurement timeouts).
+	Transient int
+	// Retries counts re-attempts after transient failures (attempts beyond
+	// the first, across all measurement episodes).
+	Retries int
+	// Timeouts counts single attempts that exceeded the per-measurement
+	// deadline (a subset of Transient).
+	Timeouts int
+	// Quarantined counts settings the engine has permanently given up on.
+	Quarantined int
+	// QuarantineSkips counts measurements refused because the setting was
+	// already quarantined.
+	QuarantineSkips int
+	// Canceled counts measurements aborted or refused by run-level context
+	// cancellation.
+	Canceled int
 	// SpentS is the virtual seconds consumed so far.
 	SpentS float64
 }
@@ -106,20 +123,49 @@ func WithWorkers(n int) Option { return func(e *Engine) { e.workers = n } }
 // Used by studies that want raw measurement counts.
 func WithoutCache() Option { return func(e *Engine) { e.noCache = true } }
 
+// WithRetry sets the transient-failure retry policy (defaults to
+// DefaultRetryPolicy; MaxAttempts 1 disables retries).
+func WithRetry(p RetryPolicy) Option { return func(e *Engine) { e.retry = p } }
+
+// WithSeed seeds the deterministic backoff jitter (defaults to 0; retry
+// schedules are a pure function of seed, setting key and attempt number).
+func WithSeed(seed uint64) Option { return func(e *Engine) { e.seed = seed } }
+
+// WithMeasureTimeout bounds every single measurement attempt by a wall-clock
+// deadline; a timed-out attempt is classified transient and retried. 0 (the
+// default) disables the watchdog.
+func WithMeasureTimeout(d time.Duration) Option { return func(e *Engine) { e.measureTimeout = d } }
+
+// WithQuarantine quarantines a setting after n definitively-failed
+// measurement episodes (permanent errors or exhausted retries); n <= 0
+// disables quarantine. Defaults to DefaultQuarantineAfter.
+func WithQuarantine(n int) Option { return func(e *Engine) { e.quarAfter = n } }
+
+// DefaultQuarantineAfter is the default episode-failure threshold. With the
+// cache enabled a permanent error is memoized after its first episode, so
+// quarantine matters mainly for settings that keep failing transiently.
+const DefaultQuarantineAfter = 3
+
 // Engine implements sim.Objective over an inner objective. It is safe for
 // concurrent use: csTuner's GA measures from several goroutines, and the
 // batch APIs run a worker pool.
 type Engine struct {
-	obj     sim.Objective
-	cost    CostModel
-	budgetS float64
-	workers int
-	noCache bool
+	obj            sim.Objective
+	cost           CostModel
+	budgetS        float64
+	workers        int
+	noCache        bool
+	retry          RetryPolicy
+	seed           uint64
+	measureTimeout time.Duration
+	quarAfter      int
 
-	mu      sync.Mutex
-	times   map[string]float64
-	errs    map[string]error
-	results map[string]*sim.Result
+	mu        sync.Mutex
+	times     map[string]float64
+	errs      map[string]error
+	results   map[string]*sim.Result
+	permFails map[string]int
+	quar      map[string]struct{}
 
 	spentS  float64
 	evals   int
@@ -135,13 +181,17 @@ type Engine struct {
 // New wraps obj in a fresh engine.
 func New(obj sim.Objective, opts ...Option) *Engine {
 	e := &Engine{
-		obj:     obj,
-		cost:    DefaultCostModel(),
-		best:    -1,
-		times:   map[string]float64{},
-		errs:    map[string]error{},
-		results: map[string]*sim.Result{},
-		spans:   map[string]*Span{},
+		obj:       obj,
+		cost:      DefaultCostModel(),
+		best:      -1,
+		retry:     DefaultRetryPolicy(),
+		quarAfter: DefaultQuarantineAfter,
+		times:     map[string]float64{},
+		errs:      map[string]error{},
+		results:   map[string]*sim.Result{},
+		permFails: map[string]int{},
+		quar:      map[string]struct{}{},
+		spans:     map[string]*Span{},
 	}
 	for _, o := range opts {
 		o(e)
@@ -181,18 +231,11 @@ func (e *Engine) Architecture() *gpu.Arch {
 // Unwrap returns the inner objective.
 func (e *Engine) Unwrap() sim.Objective { return e.obj }
 
-// Measure implements sim.Objective: cache lookup, then budget enforcement,
-// then one metered measurement of the inner objective.
+// Measure implements sim.Objective: cache lookup, then quarantine and budget
+// enforcement, then one retrying measurement episode against the inner
+// objective. It is MeasureCtx without a run context.
 func (e *Engine) Measure(s space.Setting) (float64, error) {
-	key := s.Key()
-	if ms, err, ok := e.lookup(key); ok {
-		return ms, err
-	}
-	if e.exhausted(true) {
-		return 0, ErrBudget
-	}
-	ms, err := e.obj.Measure(s)
-	return e.account(s, key, ms, err)
+	return e.MeasureCtx(context.Background(), s)
 }
 
 // lookup consults the cache; ok=false means the setting must be measured.
@@ -228,37 +271,6 @@ func (e *Engine) exhausted(trip bool) bool {
 		e.stats.BudgetTrips++
 	}
 	return true
-}
-
-// account applies the virtual cost, counters, best tracking and caching for
-// one raw measurement outcome, and returns what Measure should.
-func (e *Engine) account(s space.Setting, key string, ms float64, err error) (float64, error) {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	if err != nil {
-		e.spentS += e.cost.CheckS
-		e.stats.Invalid++
-		e.stats.SpentS = e.spentS
-		// Budget exhaustion must not be cached: the same setting could be
-		// measured by a later unbudgeted run of the shared cache.
-		if !e.noCache && !errors.Is(err, ErrBudget) {
-			e.errs[key] = err
-		}
-		return 0, err
-	}
-	e.spentS += e.cost.CompileS + float64(e.cost.Reps)*ms/1000
-	e.evals++
-	e.stats.Evaluations++
-	e.stats.SpentS = e.spentS
-	if e.best < 0 || ms < e.best {
-		e.best = ms
-		e.bestSet = s.Clone()
-	}
-	e.traj = append(e.traj, Point{CostS: e.spentS, Evals: e.evals, BestMS: e.best})
-	if !e.noCache {
-		e.times[key] = ms
-	}
-	return ms, nil
 }
 
 // Exhausted reports whether the budget has been spent; tuners poll this as

@@ -1,0 +1,392 @@
+package engine
+
+import (
+	"context"
+	"errors"
+	"math"
+	"sort"
+
+	"repro/internal/space"
+	"repro/internal/stats"
+)
+
+// ErrQuarantined is returned for settings the engine has permanently given
+// up on: they failed QuarantineAfter measurement episodes and will not be
+// handed to the objective again for the lifetime of this engine.
+var ErrQuarantined = errors.New("engine: setting quarantined after repeated failures")
+
+// ErrTimeout is returned when a single measurement exceeded the engine's
+// per-measurement deadline (WithMeasureTimeout). It is classified transient:
+// a timeout on a real testbed is usually a hung compile or a wedged device,
+// and a retry frequently succeeds.
+var ErrTimeout = errors.New("engine: measurement deadline exceeded")
+
+// TransientError is the marker interface objectives (and fault injectors)
+// use to flag an error as retryable. Errors without the marker are treated
+// as permanent — the historical behaviour, under which an invalid setting
+// deterministically fails every time.
+type TransientError interface {
+	error
+	Transient() bool
+}
+
+type transientErr struct{ err error }
+
+func (t transientErr) Error() string   { return t.err.Error() }
+func (t transientErr) Unwrap() error   { return t.err }
+func (t transientErr) Transient() bool { return true }
+
+// Transient wraps err so the engine classifies it as retryable.
+func Transient(err error) error {
+	if err == nil {
+		return nil
+	}
+	return transientErr{err: err}
+}
+
+// Class is the engine's error taxonomy; every measurement error falls into
+// exactly one class, and the class alone decides retry/cache/quarantine
+// behaviour (DESIGN.md §5).
+type Class int
+
+const (
+	// ClassPermanent: the setting itself is bad (constraint violation,
+	// resource overflow, deterministic compile error). Cached, counted
+	// toward quarantine, never retried.
+	ClassPermanent Class = iota
+	// ClassTransient: the measurement failed but the setting may be fine
+	// (injected fault, flaky timer, per-measurement timeout). Retried with
+	// backoff, never cached.
+	ClassTransient
+	// ClassBudget: the virtual evaluation budget is exhausted (sim.ErrBudget
+	// from this or a stacked engine). Never retried, never cached, never
+	// counted toward quarantine.
+	ClassBudget
+	// ClassCanceled: the run-level context was cancelled or its deadline
+	// passed. The episode aborts immediately and nothing is charged.
+	ClassCanceled
+)
+
+// String names the class for diagnostics.
+func (c Class) String() string {
+	switch c {
+	case ClassPermanent:
+		return "permanent"
+	case ClassTransient:
+		return "transient"
+	case ClassBudget:
+		return "budget"
+	case ClassCanceled:
+		return "canceled"
+	}
+	return "unknown"
+}
+
+// Classify maps a measurement error into the engine's taxonomy.
+func Classify(err error) Class {
+	switch {
+	case errors.Is(err, ErrBudget):
+		return ClassBudget
+	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
+		return ClassCanceled
+	case errors.Is(err, ErrTimeout):
+		return ClassTransient
+	}
+	var te TransientError
+	if errors.As(err, &te) && te.Transient() {
+		return ClassTransient
+	}
+	return ClassPermanent
+}
+
+// RetryPolicy bounds how the engine re-attempts transiently-failed
+// measurements. Backoff time is charged to the virtual clock — a retried
+// measurement is not free — and the jitter is deterministic, derived from
+// the engine seed and the setting key, so retry schedules are identical
+// across worker counts and reruns.
+type RetryPolicy struct {
+	// MaxAttempts is the total number of attempts per measurement episode
+	// (1 = no retries). Values below 1 behave as 1.
+	MaxAttempts int
+	// BackoffS is the virtual seconds charged before the first retry.
+	BackoffS float64
+	// Multiplier grows the backoff per further retry (<=0 defaults to 2).
+	Multiplier float64
+	// Jitter is the ± relative jitter applied to each backoff (0..1).
+	Jitter float64
+}
+
+// DefaultRetryPolicy mirrors common testbed practice: three attempts with
+// 0.5 s initial backoff doubling per retry, ±50% deterministic jitter.
+func DefaultRetryPolicy() RetryPolicy {
+	return RetryPolicy{MaxAttempts: 3, BackoffS: 0.5, Multiplier: 2, Jitter: 0.5}
+}
+
+// CtxObjective is the optional context-aware measurement surface. Objectives
+// that implement it (e.g. the fault injector's simulated hangs) observe the
+// engine's per-measurement deadline and the run context directly; plain
+// objectives are bounded by a watchdog goroutine instead.
+type CtxObjective interface {
+	MeasureCtx(ctx context.Context, s space.Setting) (float64, error)
+}
+
+// episode is the outcome of one measurement episode: up to MaxAttempts
+// attempts at a single setting, with deterministic backoff between
+// transient failures. Episodes touch no engine state — accounting happens
+// separately and sequentially, which is what keeps batched runs
+// deterministic across worker counts.
+type episode struct {
+	ms        float64
+	err       error
+	attempts  int
+	transient int
+	timeouts  int
+	backoffS  float64
+}
+
+// measureEpisode runs the retry loop for one setting.
+func (e *Engine) measureEpisode(ctx context.Context, s space.Setting, key string) episode {
+	max := e.retry.MaxAttempts
+	if max < 1 {
+		max = 1
+	}
+	var ep episode
+	for a := 0; ; a++ {
+		ms, err := e.measureOnce(ctx, s)
+		ep.attempts++
+		if err == nil {
+			ep.ms, ep.err = ms, nil // a late success clears earlier failures
+			return ep
+		}
+		ep.err = err
+		switch Classify(err) {
+		case ClassTransient:
+			ep.transient++
+			if errors.Is(err, ErrTimeout) {
+				ep.timeouts++
+			}
+			if ep.attempts >= max {
+				return ep
+			}
+			ep.backoffS += e.backoffFor(key, a)
+		default: // permanent, budget, canceled: never retried
+			return ep
+		}
+	}
+}
+
+// measureOnce performs a single attempt, bounded by the per-measurement
+// deadline when one is configured. A deadline that fires while the run
+// context is still live is reported as the transient ErrTimeout; run-level
+// cancellation surfaces as the context's own error.
+func (e *Engine) measureOnce(ctx context.Context, s space.Setting) (float64, error) {
+	mctx := ctx
+	if e.measureTimeout > 0 {
+		var cancel context.CancelFunc
+		mctx, cancel = context.WithTimeout(ctx, e.measureTimeout)
+		defer cancel()
+	}
+	var ms float64
+	var err error
+	if co, ok := e.obj.(CtxObjective); ok {
+		ms, err = co.MeasureCtx(mctx, s)
+	} else if mctx.Done() == nil {
+		// No deadline and an uncancellable context: the historical direct
+		// call, with zero per-measurement overhead.
+		return e.obj.Measure(s)
+	} else {
+		type outcome struct {
+			ms  float64
+			err error
+		}
+		ch := make(chan outcome, 1)
+		go func() {
+			m, er := e.obj.Measure(s)
+			ch <- outcome{ms: m, err: er}
+		}()
+		select {
+		case o := <-ch:
+			ms, err = o.ms, o.err
+		case <-mctx.Done():
+			// The measurement goroutine is abandoned; its late result is
+			// discarded via the buffered channel. Simulated objectives are
+			// cheap, so the leak window is short.
+			ms, err = 0, mctx.Err()
+		}
+	}
+	if err != nil && errors.Is(err, context.DeadlineExceeded) && ctx.Err() == nil {
+		// The per-measurement deadline fired, not the run context.
+		return 0, ErrTimeout
+	}
+	return ms, err
+}
+
+// backoffFor returns the virtual backoff charged before retry number
+// attempt (0-based) of the given setting, with deterministic jitter from
+// (engine seed, setting key, attempt) — independent of scheduling.
+func (e *Engine) backoffFor(key string, attempt int) float64 {
+	p := e.retry
+	if p.BackoffS <= 0 {
+		return 0
+	}
+	mult := p.Multiplier
+	if mult <= 0 {
+		mult = 2
+	}
+	d := p.BackoffS * math.Pow(mult, float64(attempt))
+	if p.Jitter > 0 {
+		h := stats.Mix64(e.seed ^ keyHash(key) ^ stats.Mix64(uint64(attempt)+1))
+		u := float64(h>>11) / float64(1<<53)
+		j := p.Jitter
+		if j > 1 {
+			j = 1
+		}
+		d *= 1 + j*(2*u-1)
+	}
+	return d
+}
+
+// keyHash is a stateless FNV-1a over the setting key.
+func keyHash(key string) uint64 {
+	h := uint64(1469598103934665603)
+	for i := 0; i < len(key); i++ {
+		h ^= uint64(key[i])
+		h *= 1099511628211
+	}
+	return h
+}
+
+// quarantined reports whether the key is quarantined, optionally counting
+// the refusal.
+func (e *Engine) quarantined(key string, count bool) bool {
+	if e.quarAfter <= 0 {
+		return false
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if _, ok := e.quar[key]; !ok {
+		return false
+	}
+	if count {
+		e.stats.QuarantineSkips++
+	}
+	return true
+}
+
+// noteFailureLocked records one definitively-failed episode (permanent
+// error or retries exhausted) and quarantines the key once it reaches the
+// threshold. Budget refusals and cancellations never count. Callers hold
+// e.mu.
+func (e *Engine) noteFailureLocked(key string) {
+	if e.quarAfter <= 0 {
+		return
+	}
+	e.permFails[key]++
+	if e.permFails[key] < e.quarAfter {
+		return
+	}
+	if _, ok := e.quar[key]; !ok {
+		e.quar[key] = struct{}{}
+		e.stats.Quarantined++
+	}
+}
+
+// Quarantined returns the sorted keys of the quarantine set.
+func (e *Engine) Quarantined() []string {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	out := make([]string, 0, len(e.quar))
+	for k := range e.quar {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// accountEpisode applies virtual cost, counters, caching, best tracking and
+// quarantine bookkeeping for one finished episode, in one critical section.
+// On the fault-free path (one successful or one permanently-failed attempt,
+// no backoff) it charges and caches exactly what the pre-fault engine did.
+func (e *Engine) accountEpisode(s space.Setting, key string, ep episode) (float64, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.stats.Retries += ep.attempts - 1
+	e.stats.Transient += ep.transient
+	e.stats.Timeouts += ep.timeouts
+	e.spentS += ep.backoffS
+	if ep.err != nil {
+		switch Classify(ep.err) {
+		case ClassCanceled:
+			// Aborted, not failed: nothing charged, nothing cached, and the
+			// setting's quarantine record is untouched.
+			e.stats.Canceled++
+			e.stats.SpentS = e.spentS
+			return 0, ep.err
+		case ClassBudget:
+			// A stacked engine refused the measurement: charged like a
+			// rejected setting (historical behaviour) but never cached and
+			// never counted toward quarantine.
+			e.spentS += e.cost.CheckS
+			e.stats.Invalid++
+			e.stats.SpentS = e.spentS
+			return 0, ep.err
+		case ClassTransient:
+			// Retries exhausted: charged, not cached (a later probe may
+			// succeed), but the failed episode counts toward quarantine.
+			e.spentS += e.cost.CheckS
+			e.stats.SpentS = e.spentS
+			e.noteFailureLocked(key)
+			return 0, ep.err
+		default: // permanent
+			e.spentS += e.cost.CheckS
+			e.stats.Invalid++
+			e.stats.SpentS = e.spentS
+			if !e.noCache {
+				e.errs[key] = ep.err
+			}
+			e.noteFailureLocked(key)
+			return 0, ep.err
+		}
+	}
+	e.spentS += e.cost.CompileS + float64(e.cost.Reps)*ep.ms/1000
+	e.evals++
+	e.stats.Evaluations++
+	e.stats.SpentS = e.spentS
+	if e.best < 0 || ep.ms < e.best {
+		e.best = ep.ms
+		e.bestSet = s.Clone()
+	}
+	e.traj = append(e.traj, Point{CostS: e.spentS, Evals: e.evals, BestMS: e.best})
+	if !e.noCache {
+		e.times[key] = ep.ms
+	}
+	if e.quarAfter > 0 {
+		delete(e.permFails, key) // a success clears the failure streak
+	}
+	return ep.ms, nil
+}
+
+// MeasureCtx is the context-aware Measure: the cache is consulted first
+// (cached results stay free even after cancellation), then quarantine, the
+// run context, and the budget, and finally one retrying measurement episode
+// runs against the inner objective.
+func (e *Engine) MeasureCtx(ctx context.Context, s space.Setting) (float64, error) {
+	key := s.Key()
+	if ms, err, ok := e.lookup(key); ok {
+		return ms, err
+	}
+	if e.quarantined(key, true) {
+		return 0, ErrQuarantined
+	}
+	if err := ctx.Err(); err != nil {
+		e.mu.Lock()
+		e.stats.Canceled++
+		e.mu.Unlock()
+		return 0, err
+	}
+	if e.exhausted(true) {
+		return 0, ErrBudget
+	}
+	ep := e.measureEpisode(ctx, s, key)
+	return e.accountEpisode(s, key, ep)
+}

@@ -1,6 +1,7 @@
 package harness
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"math"
@@ -92,7 +93,7 @@ func Fig8(w io.Writer, o Options) error {
 		series := map[string][]float64{}
 		for _, m := range methods {
 			curve, err := MeanOverSeeds(o.Repeats, o.Seed, func(seed int64) ([]float64, error) {
-				return IsoIterationCurve(m, fx, o.Iterations, o.PopSize, seed)
+				return IsoIterationCurve(context.Background(), m, fx, o.Iterations, o.PopSize, seed)
 			})
 			if err != nil {
 				return fmt.Errorf("fig8 %s/%s: %w", st.Name, m.Name(), err)
@@ -126,7 +127,7 @@ func Fig9(w io.Writer, o Options) error {
 		series := map[string][]float64{}
 		for _, m := range methods {
 			curve, err := MeanOverSeeds(o.Repeats, o.Seed, func(seed int64) ([]float64, error) {
-				res, err := IsoTimeRun(m, fx, o.BudgetS, gridN, seed)
+				res, err := IsoTimeRun(context.Background(), m, fx, o.BudgetS, gridN, seed)
 				if err != nil {
 					return nil, err
 				}
@@ -178,7 +179,7 @@ func Fig10(w io.Writer, o Options) ([]Fig10Row, error) {
 		best := map[string]float64{}
 		for _, m := range methods {
 			curve, err := MeanOverSeeds(o.Repeats, o.Seed, func(seed int64) ([]float64, error) {
-				res, err := IsoTimeRun(m, fx, o.BudgetS, 0, seed)
+				res, err := IsoTimeRun(context.Background(), m, fx, o.BudgetS, 0, seed)
 				if err != nil {
 					return nil, err
 				}
@@ -228,7 +229,7 @@ func Fig11(w io.Writer, o Options, ratios []float64) (map[string][]float64, erro
 			cs.Cfg.Sampling.Ratio = ratio
 			cs.Cfg.Sampling.PoolSize = 1024
 			curve, err := MeanOverSeeds(o.Repeats, o.Seed, func(seed int64) ([]float64, error) {
-				res, err := IsoTimeRun(cs, fx, o.BudgetS, 0, seed)
+				res, err := IsoTimeRun(context.Background(), cs, fx, o.BudgetS, 0, seed)
 				if err != nil {
 					return nil, err
 				}

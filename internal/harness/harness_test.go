@@ -2,6 +2,7 @@ package harness
 
 import (
 	"bytes"
+	"context"
 	"errors"
 	"math"
 	"strings"
@@ -149,7 +150,7 @@ func TestIsoIterationCurveMonotone(t *testing.T) {
 	cs := cstuner.New()
 	cs.Cfg.DatasetSize = 64
 	cs.Cfg.Sampling.PoolSize = 512
-	curve, err := IsoIterationCurve(cs, fx, 6, 32, 9)
+	curve, err := IsoIterationCurve(context.Background(), cs, fx, 6, 32, 9)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -171,7 +172,7 @@ func TestIsoTimeRunRespectsBudget(t *testing.T) {
 	cs := cstuner.New()
 	cs.Cfg.DatasetSize = 64
 	cs.Cfg.Sampling.PoolSize = 512
-	res, err := IsoTimeRun(cs, fx, 25, 5, 9)
+	res, err := IsoTimeRun(context.Background(), cs, fx, 25, 5, 9)
 	if err != nil {
 		t.Fatal(err)
 	}

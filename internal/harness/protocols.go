@@ -1,6 +1,7 @@
 package harness
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
@@ -47,11 +48,11 @@ func NewFixture(st *stencil.Stencil, arch *gpu.Arch, dsSize int, seed int64) (*F
 // (paper Sec. V-A2 equalizes all methods at the GA's population size).
 // Missing points (method finished early, paper's "missing points mean the
 // settings were evaluated completely") are NaN.
-func IsoIterationCurve(t baselines.Tuner, fx *Fixture, iterations, popSize int, seed int64) ([]float64, error) {
+func IsoIterationCurve(ctx context.Context, t baselines.Tuner, fx *Fixture, iterations, popSize int, seed int64) ([]float64, error) {
 	meter := NewMeter(fx.Sim, DefaultCostModel(), 0)
 	evalCap := iterations * popSize
 	stop := func() bool { return meter.Evals() >= evalCap }
-	_, _, err := t.Tune(meter, fx.DS, seed, stop)
+	_, _, err := t.Tune(ctx, meter, fx.DS, seed, stop)
 	if err != nil {
 		return nil, fmt.Errorf("%s: %w", t.Name(), err)
 	}
@@ -78,9 +79,9 @@ type IsoTimeResult struct {
 
 // IsoTimeRun races one tuner against a virtual budget of budgetS seconds and
 // samples its best-so-far trajectory on gridN uniform time points.
-func IsoTimeRun(t baselines.Tuner, fx *Fixture, budgetS float64, gridN int, seed int64) (*IsoTimeResult, error) {
+func IsoTimeRun(ctx context.Context, t baselines.Tuner, fx *Fixture, budgetS float64, gridN int, seed int64) (*IsoTimeResult, error) {
 	meter := NewMeter(fx.Sim, DefaultCostModel(), budgetS)
-	_, _, err := t.Tune(meter, fx.DS, seed, meter.Exhausted)
+	_, _, err := t.Tune(ctx, meter, fx.DS, seed, meter.Exhausted)
 	// Budget-stop is the expected way for a run to end; only hard errors
 	// with nothing measured are fatal.
 	_, bestMS, ok := meter.Best()

@@ -112,6 +112,31 @@ func (s Setting) Key() string {
 	return b.String()
 }
 
+// ParseKey decodes a Setting.Key string back into a setting. It is strict:
+// every part must be the canonical base-10 rendering of its value (no signs,
+// no leading zeros, no whitespace), so ParseKey is the exact inverse of Key —
+// ParseKey(k) succeeds iff k == ParseKey(k).Key(). The decoded setting is
+// purely syntactic; callers wanting a legal point of a space must still
+// Validate it.
+func ParseKey(key string) (Setting, error) {
+	if key == "" {
+		return nil, fmt.Errorf("space: empty setting key")
+	}
+	parts := strings.Split(key, ",")
+	s := make(Setting, len(parts))
+	for i, part := range parts {
+		v, err := strconv.Atoi(part)
+		if err != nil {
+			return nil, fmt.Errorf("space: bad setting key part %q: %w", part, err)
+		}
+		if strconv.Itoa(v) != part {
+			return nil, fmt.Errorf("space: non-canonical setting key part %q", part)
+		}
+		s[i] = v
+	}
+	return s, nil
+}
+
 // Hash returns a 64-bit hash of the setting, used to seed deterministic
 // per-setting measurement noise in the simulator.
 func (s Setting) Hash() uint64 {
@@ -458,6 +483,38 @@ func geomIndex(rng RNG, n int) int {
 		i++
 	}
 	return i
+}
+
+// Neighbor returns a valid setting one local move away from s: a single
+// parameter nudged to an adjacent legal value, followed by canonical repair.
+// When no repairable single-step move exists (or s itself is degenerate) it
+// falls back to a fresh random draw, so the result is always valid.
+func (sp *Space) Neighbor(s Setting, rng RNG) Setting {
+	for tries := 0; tries < 64; tries++ {
+		n := s.Clone()
+		i := rng.Intn(len(sp.Params))
+		vals := sp.Params[i].Values
+		j := sp.Params[i].Index(n[i])
+		if j < 0 || len(vals) < 2 {
+			continue
+		}
+		switch {
+		case j == 0:
+			j++
+		case j == len(vals)-1:
+			j--
+		case rng.Intn(2) == 0:
+			j--
+		default:
+			j++
+		}
+		n[i] = vals[j]
+		sp.Repair(n, rng)
+		if sp.Validate(n) == nil && !n.Equal(s) {
+			return n
+		}
+	}
+	return sp.Random(rng)
 }
 
 // Repair rewrites s in place into canonical streaming form and clamps the
