@@ -19,6 +19,7 @@ import (
 	"repro/internal/gpu"
 	"repro/internal/grouping"
 	"repro/internal/harness"
+	"repro/internal/journal"
 	"repro/internal/kernel"
 	"repro/internal/sim"
 	"repro/internal/space"
@@ -176,6 +177,71 @@ func (s *Session) TuneWithBudgetCtx(ctx context.Context, cfg Config, budgetS flo
 	}
 	eng := engine.New(s.sim, engine.WithCost(engine.DefaultCostModel()), engine.WithBudget(budgetS))
 	return core.TuneCtx(ctx, eng, ds, cfg, eng.Exhausted)
+}
+
+// ErrJournalCorrupt and ErrJournalFingerprint re-export the journal's
+// resume failures: a journal whose header cannot be trusted, and a journal
+// written by a differently-configured campaign. Both are clean errors —
+// torn tails from a crash mid-append are not errors at all; they are
+// truncated and the intact prefix resumed.
+var (
+	ErrJournalCorrupt     = journal.ErrCorrupt
+	ErrJournalFingerprint = journal.ErrFingerprint
+)
+
+// ResumeTune is the crash-safe TuneWithBudgetCtx: every measurement episode
+// is write-ahead logged to the journal at path before it is accounted, so a
+// run killed at any instant — preemption, OOM, Ctrl-C — can be re-run with
+// the same arguments and continue where it stopped. When path does not
+// exist a fresh campaign starts; when it holds a previous run's journal the
+// pipeline re-executes deterministically while the engine replays every
+// journaled episode instead of re-measuring it, producing a final Report
+// identical to the uninterrupted run's and only then measuring new
+// settings. A journal from a differently-configured campaign is refused
+// with ErrJournalFingerprint.
+//
+// Crash-safety requires a deterministic measurement order, so ResumeTune
+// folds the GA's sub-populations into one sequential population of the same
+// total size (the island model measures from concurrent goroutines, whose
+// interleaving no journal can reproduce).
+func (s *Session) ResumeTune(ctx context.Context, path string, cfg Config, budgetS float64) (*Report, error) {
+	if cfg.GA.SubPopulations > 1 {
+		cfg.GA.PopSize *= cfg.GA.SubPopulations
+		cfg.GA.SubPopulations = 1
+	}
+	ds, err := dataset.CollectBatch(engine.New(s.sim), rand.New(rand.NewSource(cfg.Seed)), cfg.DatasetSize, 0)
+	if err != nil {
+		return nil, err
+	}
+	jr, err := journal.OpenOrCreate(path, s.tuneFingerprint(cfg, budgetS))
+	if err != nil {
+		return nil, err
+	}
+	defer jr.Close()
+	eng := engine.New(s.sim,
+		engine.WithCost(engine.DefaultCostModel()),
+		engine.WithBudget(budgetS),
+		engine.WithSeed(uint64(cfg.Seed)),
+		engine.WithJournal(jr))
+	rep, err := core.TuneCtx(ctx, eng, ds, cfg, eng.Exhausted)
+	if jerr := eng.JournalErr(); jerr != nil {
+		return rep, jerr
+	}
+	return rep, err
+}
+
+// tuneFingerprint identifies a resumable tuning campaign: every explicit
+// scalar knob that changes the measurement sequence. Built field by field —
+// never by reflective struct formatting, which would print the Prefilter
+// function pointer and change between processes.
+func (s *Session) tuneFingerprint(cfg Config, budgetS float64) string {
+	return fmt.Sprintf(
+		"cstuner-tune|v1|stencil=%s|arch=%s|seed=%d|budget=%g|ds=%d|nmc=%d|mgs=%d|is=%v|js=%v|ratio=%g|pool=%d|prefilter=%v|ga=%d,%d,%g,%g,%d,%g,%d|emit=%v",
+		s.stencil.Name, s.sim.Arch.Name, cfg.Seed, budgetS, cfg.DatasetSize,
+		cfg.NumMetricCollections, cfg.MaxGroupSize, cfg.IS, cfg.JS,
+		cfg.Sampling.Ratio, cfg.Sampling.PoolSize, cfg.Sampling.Prefilter != nil,
+		cfg.GA.SubPopulations, cfg.GA.PopSize, cfg.GA.CrossoverRate, cfg.GA.MutationRate,
+		cfg.GA.TopN, cfg.GA.CVThreshold, cfg.GA.MaxGenerations, cfg.EmitKernels)
 }
 
 // Comparator names accepted by RunComparator.

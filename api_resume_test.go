@@ -1,0 +1,113 @@
+package cstuner
+
+import (
+	"context"
+	"errors"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+	"time"
+)
+
+func resumeConfig() Config {
+	cfg := DefaultConfig()
+	cfg.DatasetSize = 64
+	cfg.Sampling.PoolSize = 512
+	cfg.GA.MaxGenerations = 8
+	cfg.EmitKernels = false
+	return cfg
+}
+
+// TestResumeTuneCrashLoopConvergesToUninterruptedReport crash-restarts
+// ResumeTune with aggressive deadlines until one attempt runs to
+// completion, then checks the stitched-together run against a single
+// uninterrupted one: same best setting, same kernel time, same engine
+// accounting. Where each deadline lands is scheduling-dependent — the
+// journal must make the outcome independent of it.
+func TestResumeTuneCrashLoopConvergesToUninterruptedReport(t *testing.T) {
+	s, err := NewSessionFor("helmholtz", "a100")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := resumeConfig()
+	const budgetS = 25
+
+	golden, err := s.ResumeTune(context.Background(), filepath.Join(t.TempDir(), "golden.wal"), cfg, budgetS)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if golden.Best == nil || golden.BestMS <= 0 {
+		t.Fatalf("uninterrupted run degenerate: %+v", golden)
+	}
+
+	path := filepath.Join(t.TempDir(), "crashy.wal")
+	var rep *Report
+	deadline := 30 * time.Millisecond
+	crashes := 0
+	for attempt := 0; ; attempt++ {
+		if attempt > 200 {
+			t.Fatal("crash loop did not converge in 200 restarts")
+		}
+		ctx, cancel := context.WithTimeout(context.Background(), deadline)
+		rep, err = s.ResumeTune(ctx, path, cfg, budgetS)
+		cancel()
+		if err == nil {
+			break
+		}
+		if !errors.Is(err, context.DeadlineExceeded) {
+			t.Fatalf("restart %d: unexpected failure: %v", attempt, err)
+		}
+		crashes++
+		deadline += 10 * time.Millisecond // guarantee forward progress eventually
+	}
+	if crashes == 0 {
+		t.Skip("first attempt finished inside the deadline; nothing was interrupted")
+	}
+	if rep.Best.Key() != golden.Best.Key() || rep.BestMS != golden.BestMS {
+		t.Fatalf("resumed best %v/%.6f != uninterrupted %v/%.6f",
+			rep.Best, rep.BestMS, golden.Best, golden.BestMS)
+	}
+	if !reflect.DeepEqual(rep.Engine, golden.Engine) {
+		t.Fatalf("engine accounting diverged after %d crashes\n got: %+v\nwant: %+v",
+			crashes, rep.Engine, golden.Engine)
+	}
+	if rep.Evaluations != golden.Evaluations {
+		t.Fatalf("evaluations %d != %d", rep.Evaluations, golden.Evaluations)
+	}
+}
+
+// TestResumeTuneFingerprintMismatch: a journal written under one budget must
+// refuse to resume under another.
+func TestResumeTuneFingerprintMismatch(t *testing.T) {
+	s, err := NewSessionFor("j3d7pt", "a100")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := resumeConfig()
+	path := filepath.Join(t.TempDir(), "run.wal")
+	if _, err := s.ResumeTune(context.Background(), path, cfg, 10); err != nil {
+		t.Fatal(err)
+	}
+	_, err = s.ResumeTune(context.Background(), path, cfg, 15)
+	if !errors.Is(err, ErrJournalFingerprint) {
+		t.Fatalf("err = %v, want ErrJournalFingerprint", err)
+	}
+}
+
+// TestResumeTuneCorruptHeaderRefused: a file that is not a journal fails
+// cleanly with ErrJournalCorrupt.
+func TestResumeTuneCorruptHeaderRefused(t *testing.T) {
+	s, err := NewSessionFor("j3d7pt", "a100")
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "garbage.wal")
+	if err := os.WriteFile(path, []byte("this is not a journal at all"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, err = s.ResumeTune(context.Background(), path, resumeConfig(), 10)
+	if !errors.Is(err, ErrJournalCorrupt) {
+		t.Fatalf("err = %v, want ErrJournalCorrupt", err)
+	}
+}

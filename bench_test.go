@@ -180,7 +180,7 @@ func BenchmarkFig12Overhead(b *testing.B) {
 	b.ReportMetric(100*ratio, "%preproc-vs-search")
 }
 
-// ---- Ablation benches (DESIGN.md §7): quantify each design choice ---------
+// ---- Ablation benches (DESIGN.md §8): quantify each design choice ---------
 
 // ablationTune runs csTuner with a modified config and reports the best
 // time under a fixed budget.

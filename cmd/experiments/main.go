@@ -13,12 +13,19 @@
 //	experiments -fig 12           # pre-processing overhead breakdown
 //	experiments -all -quick       # everything at smoke scale
 //
+// Crash-safe campaigns journal every measurement episode so a killed run
+// resumes where it stopped (DESIGN.md §6):
+//
+//	experiments -campaign cstuner -journal run.wal -budget 40   # start
+//	experiments -campaign cstuner -journal run.wal -budget 40 -resume
+//
 // Full-protocol runs (-repeats 10, all eight stencils, 20k motivation
 // samples) reproduce the paper's setup but take correspondingly long on one
 // core; -quick keeps every experiment's structure at reduced scale.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -43,6 +50,9 @@ func main() {
 		budget    = flag.Float64("budget", 0, "iso-time virtual budget seconds (default 100)")
 		seed      = flag.Int64("seed", 1, "base random seed")
 		artifacts = flag.String("artifacts", "", "directory for SVG/CSV figure artifacts")
+		campaign  = flag.String("campaign", "", "run one crash-safe campaign: cstuner, opentuner, garvey or artemis")
+		jpath     = flag.String("journal", "", "write-ahead journal path for -campaign (enables crash-safe resume)")
+		resume    = flag.Bool("resume", false, "require the -journal file to exist and resume it")
 	)
 	flag.Parse()
 
@@ -129,9 +139,41 @@ func main() {
 		})
 	}
 	if *all || *ablation {
-		run("Ablation (design choices, DESIGN.md §7)", func() error {
+		run("Ablation (design choices, DESIGN.md §8)", func() error {
 			_, err := harness.Ablation(w, o)
 			return err
+		})
+	}
+	if *campaign != "" {
+		run("Campaign "+*campaign, func() error {
+			if *resume {
+				if *jpath == "" {
+					return fmt.Errorf("-resume requires -journal")
+				}
+				if _, err := os.Stat(*jpath); err != nil {
+					return fmt.Errorf("-resume: no journal at %s: %w", *jpath, err)
+				}
+			}
+			fx, err := harness.NewFixture(o.Stencils[0], o.Arch, o.DatasetSize, o.Seed)
+			if err != nil {
+				return err
+			}
+			res, err := harness.RunCampaign(context.Background(), fx, harness.CampaignConfig{
+				Method:      *campaign,
+				BudgetS:     o.BudgetS,
+				Seed:        o.Seed,
+				JournalPath: *jpath,
+			})
+			if err != nil {
+				return err
+			}
+			fmt.Fprintf(w, "stencil=%s method=%s budget=%gs\n", o.Stencils[0].Name, *campaign, o.BudgetS)
+			if res.Replayed > 0 {
+				fmt.Fprintf(w, "resumed: %d episodes replayed from %s\n", res.Replayed, *jpath)
+			}
+			fmt.Fprintf(w, "best=%v bestms=%.6f evals=%d spent=%.1fs\n",
+				res.Best, res.BestMS, res.Stats.Evaluations, res.Stats.SpentS)
+			return nil
 		})
 	}
 

@@ -84,6 +84,21 @@ func TestTuneCtxMidRunCancellationReturnsPartialReport(t *testing.T) {
 	if rep.Engine.Canceled == 0 {
 		t.Fatalf("cancellation not surfaced on engine stats: %+v", rep.Engine)
 	}
+	// The partial report's timing spans must include the cancellation point
+	// itself: a "canceled" span recording how far into the run the abort
+	// landed, so interrupted-run telemetry accounts for the whole wall time.
+	found := false
+	for _, span := range rep.Spans {
+		if span.Name == "canceled" {
+			found = true
+			if span.Count != 1 || span.Total <= 0 {
+				t.Fatalf("canceled span malformed: %+v", span)
+			}
+		}
+	}
+	if !found {
+		t.Fatalf("no %q span in partial report: %+v", "canceled", rep.Spans)
+	}
 	// The run stopped early: far fewer measurements than an uncancelled run.
 	full, err := Tune(s, nil, quickConfig(), nil)
 	if err != nil {

@@ -147,6 +147,7 @@ func TuneCtx(ctx context.Context, obj sim.Objective, ds *dataset.Dataset, cfg Co
 	sp := eng.Space()
 	rng := rand.New(rand.NewSource(cfg.Seed))
 	statsBefore := eng.Stats()
+	started := time.Now()
 
 	if ds == nil {
 		if !eng.CanCollect() {
@@ -176,7 +177,7 @@ func TuneCtx(ctx context.Context, obj sim.Objective, ds *dataset.Dataset, cfg Co
 
 	rep := &Report{Models: map[string]*pmnf.Model{}}
 	if err := ctx.Err(); err != nil {
-		return partial(rep, eng, ds, statsBefore), err
+		return partial(rep, eng, ds, statsBefore, started), err
 	}
 
 	// ---- Pre-processing: parameter grouping (Sec. IV-C) -----------------
@@ -191,7 +192,7 @@ func TuneCtx(ctx context.Context, obj sim.Objective, ds *dataset.Dataset, cfg Co
 	stopSpan()
 	rep.Overhead.Grouping = time.Since(t0)
 	if err := ctx.Err(); err != nil {
-		return partial(rep, eng, ds, statsBefore), err
+		return partial(rep, eng, ds, statsBefore, started), err
 	}
 
 	// ---- Pre-processing: search-space sampling (Sec. IV-D) --------------
@@ -238,7 +239,7 @@ func TuneCtx(ctx context.Context, obj sim.Objective, ds *dataset.Dataset, cfg Co
 	stopSpan()
 	rep.Overhead.Sampling = time.Since(t0)
 	if err := ctx.Err(); err != nil {
-		return partial(rep, eng, ds, statsBefore), err
+		return partial(rep, eng, ds, statsBefore, started), err
 	}
 
 	// ---- Pre-processing: code generation ---------------------------------
@@ -269,27 +270,37 @@ func TuneCtx(ctx context.Context, obj sim.Objective, ds *dataset.Dataset, cfg Co
 		return nil, err
 	}
 	rep.Best, rep.BestMS = best, bestMS
+	if err := ctx.Err(); err != nil {
+		// The run was cut during the search: mark the cancellation point as a
+		// span so resumed runs can account the wall-time this partial run
+		// actually covered.
+		eng.ObserveSpan("canceled", time.Since(started))
+		rep.Engine = eng.Stats()
+		rep.Evaluations = rep.Engine.Evaluations - statsBefore.Evaluations
+		rep.Spans = eng.Spans()
+		return rep, err
+	}
 	rep.Engine = eng.Stats()
 	rep.Evaluations = rep.Engine.Evaluations - statsBefore.Evaluations
 	rep.Spans = eng.Spans()
-	if err := ctx.Err(); err != nil {
-		return rep, err
-	}
 	return rep, nil
 }
 
 // partial finalizes a report for a run cut short by context cancellation:
 // the best known result so far (the engine's best measurement, else the
 // offline dataset's best sample), the engine counter snapshot, and the
-// timing spans. The report is well-formed; only Best may be nil when the
-// run was cancelled before anything was measured.
-func partial(rep *Report, eng *engine.Engine, ds *dataset.Dataset, statsBefore engine.Stats) *Report {
+// timing spans — including a "canceled" span marking how far into the run
+// the cut landed, so resumed runs account the partial run's wall-time. The
+// report is well-formed; only Best may be nil when the run was cancelled
+// before anything was measured.
+func partial(rep *Report, eng *engine.Engine, ds *dataset.Dataset, statsBefore engine.Stats, started time.Time) *Report {
 	if s, ms, ok := eng.Best(); ok {
 		rep.Best, rep.BestMS = s, ms
 	} else if ds != nil && len(ds.Samples) > 0 {
 		b := ds.Best()
 		rep.Best, rep.BestMS = b.Setting.Clone(), b.TimeMS
 	}
+	eng.ObserveSpan("canceled", time.Since(started))
 	rep.Engine = eng.Stats()
 	rep.Evaluations = rep.Engine.Evaluations - statsBefore.Evaluations
 	rep.Spans = eng.Spans()

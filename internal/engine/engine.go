@@ -30,6 +30,7 @@ import (
 	"time"
 
 	"repro/internal/gpu"
+	"repro/internal/journal"
 	"repro/internal/sim"
 	"repro/internal/space"
 )
@@ -159,6 +160,8 @@ type Engine struct {
 	seed           uint64
 	measureTimeout time.Duration
 	quarAfter      int
+	repeats        int
+	jr             *journal.Journal
 
 	mu        sync.Mutex
 	times     map[string]float64
@@ -166,6 +169,19 @@ type Engine struct {
 	results   map[string]*sim.Result
 	permFails map[string]int
 	quar      map[string]struct{}
+
+	// journal replay/recording state (engine_journal).
+	replay        map[string][]journal.Episode
+	replayPending int
+	replayed      int
+	journalErr    error
+
+	// sfMu/inflight give MeasureCtx per-key singleflight: concurrent
+	// requests for one uncached key collapse onto a single measurement
+	// episode, so the measurement history is independent of goroutine
+	// scheduling — the property journal replay depends on.
+	sfMu     sync.Mutex
+	inflight map[string]chan struct{}
 
 	spentS  float64
 	evals   int
@@ -192,6 +208,7 @@ func New(obj sim.Objective, opts ...Option) *Engine {
 		permFails: map[string]int{},
 		quar:      map[string]struct{}{},
 		spans:     map[string]*Span{},
+		inflight:  map[string]chan struct{}{},
 	}
 	for _, o := range opts {
 		o(e)
@@ -201,6 +218,9 @@ func New(obj sim.Objective, opts ...Option) *Engine {
 		if e.workers > 16 {
 			e.workers = 16
 		}
+	}
+	if e.jr != nil {
+		e.initReplay()
 	}
 	return e
 }
@@ -363,19 +383,23 @@ func (e *Engine) Workers() int { return e.workers }
 //	defer eng.Time("grouping")()
 func (e *Engine) Time(name string) func() {
 	start := time.Now()
-	return func() {
-		d := time.Since(start)
-		e.mu.Lock()
-		defer e.mu.Unlock()
-		sp := e.spans[name]
-		if sp == nil {
-			sp = &Span{Name: name}
-			e.spans[name] = sp
-			e.order = append(e.order, name)
-		}
-		sp.Count++
-		sp.Total += d
+	return func() { e.ObserveSpan(name, time.Since(start)) }
+}
+
+// ObserveSpan records one already-measured duration under a named span —
+// for callers whose interval has no tidy start/stop bracketing, such as the
+// pipeline marking the cancellation point of a cut-short run.
+func (e *Engine) ObserveSpan(name string, d time.Duration) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	sp := e.spans[name]
+	if sp == nil {
+		sp = &Span{Name: name}
+		e.spans[name] = sp
+		e.order = append(e.order, name)
 	}
+	sp.Count++
+	sp.Total += d
 }
 
 // Spans returns the aggregated timing spans in first-use order.

@@ -1,0 +1,260 @@
+package engine
+
+import (
+	"errors"
+	"sort"
+
+	"repro/internal/journal"
+	"repro/internal/sim"
+)
+
+// WithJournal attaches a campaign journal to the engine. Every finished
+// measurement episode (success, permanent failure, transient exhaustion,
+// budget refusal — everything except a context-cancelled abort, which is
+// the shutdown itself) is appended to the journal and fsync'd *before* its
+// effects reach the engine's accounting state, so a crash at any instant
+// loses at most work the engine never accounted.
+//
+// When the journal was opened on an existing file, its recovered episodes
+// become the engine's replay set: the first measurement request for each
+// journaled key is served from the journal — through the normal accounting
+// path, so cost, stats, trajectory, cache, and quarantine evolve exactly as
+// in the original run — instead of reaching the objective. Replay is
+// per-key FIFO, so duplicate episodes (transient failures later retried)
+// re-play in their original order; once a key's queue drains, further
+// requests measure live. Resume therefore requires the campaign itself to
+// be deterministic: the resumed run re-executes the same search and asks
+// for the same keys, and the journal answers for the prefix already paid
+// for (DESIGN.md §6).
+func WithJournal(j *journal.Journal) Option {
+	return func(e *Engine) { e.jr = j }
+}
+
+// WithRepeats makes every measurement attempt call the objective n times,
+// scoring the setting by the median (noise-robust, the standard benchmark
+// practice) while charging the virtual clock for every repeat. n <= 1 is a
+// single call per attempt — the historical behaviour, bit-for-bit.
+func WithRepeats(n int) Option {
+	return func(e *Engine) {
+		if n < 1 {
+			n = 1
+		}
+		e.repeats = n
+	}
+}
+
+// AttemptRestorer is implemented by stateful objectives (the fault
+// injector) whose behaviour depends on how often each setting was measured.
+// On resume the engine restores the per-key objective-call counts recorded
+// in the journal, so a wrapped objective's per-attempt decisions continue
+// exactly where the crashed run stopped.
+type AttemptRestorer interface {
+	RestoreAttempts(calls map[string]int)
+}
+
+// initReplay turns the journal's recovered episodes into per-key FIFO
+// replay queues and restores attempt counters down the objective chain.
+// Called once from New after options are applied.
+func (e *Engine) initReplay() {
+	rec := e.jr.Recovered()
+	if len(rec) == 0 {
+		return
+	}
+	e.replay = make(map[string][]journal.Episode, len(rec))
+	calls := make(map[string]int, len(rec))
+	for _, r := range rec {
+		e.replay[r.Key] = append(e.replay[r.Key], r)
+		calls[r.Key] += r.Calls
+	}
+	e.replayPending = len(rec)
+	for obj := e.obj; obj != nil; {
+		if ar, ok := obj.(AttemptRestorer); ok {
+			ar.RestoreAttempts(calls)
+			break
+		}
+		u, ok := obj.(interface{ Unwrap() sim.Objective })
+		if !ok {
+			break
+		}
+		obj = u.Unwrap()
+	}
+}
+
+// replayPop serves the next journaled episode for key, if any.
+func (e *Engine) replayPop(key string) (episode, bool) {
+	if e.replay == nil {
+		return episode{}, false
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	q := e.replay[key]
+	if len(q) == 0 {
+		return episode{}, false
+	}
+	r := q[0]
+	if len(q) == 1 {
+		delete(e.replay, key)
+	} else {
+		e.replay[key] = q[1:]
+	}
+	e.replayPending--
+	e.replayed++
+	return episodeFromRecord(r), true
+}
+
+// ReplayPending returns how many journaled episodes are still waiting to be
+// replayed; a resumed campaign that re-executes deterministically drains
+// this to zero before its first live measurement of a journaled key.
+func (e *Engine) ReplayPending() int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.replayPending
+}
+
+// Replayed returns how many measurement episodes were served from the
+// journal instead of the objective.
+func (e *Engine) Replayed() int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.replayed
+}
+
+// JournalErr returns the sticky journal-write error, if any: once an append
+// or checkpoint fails, the engine refuses further measurements rather than
+// silently running an unjournaled (unresumable) campaign.
+func (e *Engine) JournalErr() error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.journalErr
+}
+
+// episodeFromRecord reconstructs the in-memory episode a journal record was
+// written from. The error is rebuilt by class — Classify drives every
+// accounting decision, so class fidelity (plus the message) is all replay
+// needs.
+func episodeFromRecord(r journal.Episode) episode {
+	ep := episode{
+		attempts:  r.Attempts,
+		calls:     r.Calls,
+		transient: r.Transient,
+		timeouts:  r.Timeouts,
+		backoffS:  r.BackoffS,
+		replayed:  true,
+	}
+	switch r.Class {
+	case journal.ClassOK:
+		ep.ms, ep.msSum = r.MS, r.MSSum
+	case journal.ClassBudget:
+		ep.err = ErrBudget
+	case journal.ClassTransient:
+		ep.err = Transient(errors.New(r.Err))
+	default:
+		ep.err = errors.New(r.Err)
+	}
+	return ep
+}
+
+// recordFromEpisode converts one finished episode into its durable record.
+// costS is the total virtual cost the episode is about to be charged.
+func recordFromEpisode(key string, ep episode, costS float64) journal.Episode {
+	r := journal.Episode{
+		Key:       key,
+		Attempts:  ep.attempts,
+		Calls:     ep.calls,
+		Transient: ep.transient,
+		Timeouts:  ep.timeouts,
+		BackoffS:  ep.backoffS,
+		CostS:     costS,
+	}
+	if ep.err == nil {
+		r.Class = journal.ClassOK
+		r.MS, r.MSSum = ep.ms, ep.msSum
+		return r
+	}
+	r.Err = ep.err.Error()
+	switch Classify(ep.err) {
+	case ClassBudget:
+		r.Class = journal.ClassBudget
+	case ClassTransient:
+		r.Class = journal.ClassTransient
+	default:
+		r.Class = journal.ClassPermanent
+	}
+	return r
+}
+
+// episodeCostS prices one finished episode exactly as accountEpisode will
+// charge it, so the journal record carries the true cost.
+func (e *Engine) episodeCostS(ep episode) float64 {
+	if ep.err == nil {
+		return ep.backoffS + e.cost.CompileS + float64(e.cost.Reps)*ep.msSum/1000
+	}
+	if Classify(ep.err) == ClassCanceled {
+		return 0
+	}
+	return ep.backoffS + e.cost.CheckS
+}
+
+// summaryLocked snapshots the engine state for a checkpoint. Callers hold
+// e.mu.
+func (e *Engine) summaryLocked() journal.Summary {
+	s := journal.Summary{
+		SpentS:          e.spentS,
+		BudgetS:         e.budgetS,
+		Evaluations:     e.stats.Evaluations,
+		CacheHits:       e.stats.CacheHits,
+		Invalid:         e.stats.Invalid,
+		BudgetTrips:     e.stats.BudgetTrips,
+		Transient:       e.stats.Transient,
+		Retries:         e.stats.Retries,
+		Timeouts:        e.stats.Timeouts,
+		Quarantined:     e.stats.Quarantined,
+		QuarantineSkips: e.stats.QuarantineSkips,
+		Canceled:        e.stats.Canceled,
+	}
+	if e.best >= 0 {
+		s.BestKey = e.bestSet.Key()
+		s.BestMS = e.best
+	}
+	for k := range e.quar {
+		s.Quarantine = append(s.Quarantine, k)
+	}
+	sort.Strings(s.Quarantine)
+	return s
+}
+
+// journalEpisodeLocked write-ahead logs one live finished episode: the
+// record is durable before accountEpisode mutates any state. A journal
+// write failure is sticky — the engine fails fast rather than silently
+// continuing a campaign whose journal no longer matches its state. Callers
+// hold e.mu; returns false when the caller must abort accounting.
+func (e *Engine) journalEpisodeLocked(key string, ep episode) error {
+	if e.jr == nil || ep.replayed {
+		return nil
+	}
+	if ep.err != nil && Classify(ep.err) == ClassCanceled {
+		// A cancelled episode is the shutdown itself: it charges nothing,
+		// mutates nothing durable, and the resumed run re-measures the key.
+		return nil
+	}
+	if e.journalErr != nil {
+		return e.journalErr
+	}
+	if err := e.jr.Append(recordFromEpisode(key, ep, e.episodeCostS(ep))); err != nil {
+		e.journalErr = err
+		return err
+	}
+	return nil
+}
+
+// maybeCheckpointLocked compacts the journal on its configured period, with
+// the engine's post-accounting state as the checkpoint summary. Callers
+// hold e.mu.
+func (e *Engine) maybeCheckpointLocked() {
+	if e.jr == nil || e.journalErr != nil {
+		return
+	}
+	if err := e.jr.MaybeCheckpoint(e.summaryLocked()); err != nil {
+		e.journalErr = err
+	}
+}

@@ -1,0 +1,118 @@
+package engine
+
+import (
+	"errors"
+	"sync"
+	"testing"
+
+	"repro/internal/space"
+	"repro/internal/stencil"
+)
+
+// seqObj returns a scripted sequence of times for one key, cycling.
+type seqObj struct {
+	sp *space.Space
+
+	mu    sync.Mutex
+	times []float64
+	errAt int // 1-based call index that fails (0 = never)
+	calls int
+}
+
+func newSeq(t testing.TB, times []float64) *seqObj {
+	t.Helper()
+	sp, err := space.New(stencil.Helmholtz())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &seqObj{sp: sp, times: times}
+}
+
+func (o *seqObj) Space() *space.Space { return o.sp }
+
+func (o *seqObj) Measure(s space.Setting) (float64, error) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	o.calls++
+	if o.errAt > 0 && o.calls == o.errAt {
+		return 0, Transient(errors.New("scripted failure"))
+	}
+	return o.times[(o.calls-1)%len(o.times)], nil
+}
+
+func (o *seqObj) callCount() int {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	return o.calls
+}
+
+func TestWithRepeatsMedianScoredSumCharged(t *testing.T) {
+	obj := newSeq(t, []float64{30, 10, 20}) // median 20, sum 60
+	sp := obj.Space()
+	eng := New(obj, WithRepeats(3), WithCost(CostModel{CompileS: 1, Reps: 2}))
+	ms, err := eng.Measure(variant(sp, 2, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ms != 20 {
+		t.Fatalf("median = %v, want 20", ms)
+	}
+	if obj.callCount() != 3 {
+		t.Fatalf("objective called %d times, want 3", obj.callCount())
+	}
+	// Charge: CompileS + Reps × (sum of repeats)/1000 = 1 + 2×60/1000.
+	if want := 1 + 2*60.0/1000; eng.SpentS() != want {
+		t.Fatalf("SpentS = %v, want %v", eng.SpentS(), want)
+	}
+}
+
+func TestWithRepeatsEvenCountAveragesMiddlePair(t *testing.T) {
+	obj := newSeq(t, []float64{40, 10, 30, 20}) // sorted 10,20,30,40 → median 25
+	sp := obj.Space()
+	eng := New(obj, WithRepeats(4))
+	ms, err := eng.Measure(variant(sp, 2, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ms != 25 {
+		t.Fatalf("median = %v, want 25", ms)
+	}
+}
+
+func TestWithRepeatsFailedRepeatFailsAttemptAndRetries(t *testing.T) {
+	obj := newSeq(t, []float64{10, 10, 10})
+	obj.errAt = 2 // second objective call fails transiently
+	sp := obj.Space()
+	eng := New(obj, WithRepeats(3), WithRetry(RetryPolicy{MaxAttempts: 2, BackoffS: 0}))
+	ms, err := eng.Measure(variant(sp, 2, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ms != 10 {
+		t.Fatalf("ms = %v, want 10", ms)
+	}
+	// Attempt 1: calls 1, 2 (fails). Attempt 2: calls 3, 4, 5.
+	if obj.callCount() != 5 {
+		t.Fatalf("objective called %d times, want 5", obj.callCount())
+	}
+	if s := eng.Stats(); s.Retries != 1 || s.Transient != 1 {
+		t.Fatalf("stats = %+v, want 1 retry, 1 transient", s)
+	}
+}
+
+func TestWithRepeatsOneIsIdentityArithmetic(t *testing.T) {
+	// n=1 must preserve the historical charge bit-for-bit: one measurement,
+	// msSum == ms.
+	sp := newFake(t).Space()
+	a := New(newFake(t), WithCost(DefaultCostModel()))
+	b := New(newFake(t), WithCost(DefaultCostModel()), WithRepeats(1))
+	s := variant(sp, 3, 7)
+	msA, errA := a.Measure(s)
+	msB, errB := b.Measure(s)
+	if errA != nil || errB != nil {
+		t.Fatal(errA, errB)
+	}
+	if msA != msB || a.SpentS() != b.SpentS() {
+		t.Fatalf("WithRepeats(1) diverged: ms %v vs %v, spent %v vs %v", msA, msB, a.SpentS(), b.SpentS())
+	}
+}

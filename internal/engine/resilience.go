@@ -136,26 +136,36 @@ type CtxObjective interface {
 // separately and sequentially, which is what keeps batched runs
 // deterministic across worker counts.
 type episode struct {
-	ms        float64
+	ms        float64 // scored time: the median across repeats
+	msSum     float64 // summed repeat time, what the cost model charges
 	err       error
 	attempts  int
+	calls     int // objective invocations (attempts × repeats on success)
 	transient int
 	timeouts  int
 	backoffS  float64
+	replayed  bool // served from the campaign journal, not the objective
 }
 
-// measureEpisode runs the retry loop for one setting.
+// measureEpisode runs the retry loop for one setting. On a resumed engine
+// the key's journaled episodes replay first — per-key FIFO, through this
+// same return path — so accounting downstream cannot tell a replayed
+// episode from a live one.
 func (e *Engine) measureEpisode(ctx context.Context, s space.Setting, key string) episode {
+	if ep, ok := e.replayPop(key); ok {
+		return ep
+	}
 	max := e.retry.MaxAttempts
 	if max < 1 {
 		max = 1
 	}
 	var ep episode
 	for a := 0; ; a++ {
-		ms, err := e.measureOnce(ctx, s)
+		ms, msSum, calls, err := e.measureAttempt(ctx, s)
 		ep.attempts++
+		ep.calls += calls
 		if err == nil {
-			ep.ms, ep.err = ms, nil // a late success clears earlier failures
+			ep.ms, ep.msSum, ep.err = ms, msSum, nil // a late success clears earlier failures
 			return ep
 		}
 		ep.err = err
@@ -173,6 +183,40 @@ func (e *Engine) measureEpisode(ctx context.Context, s space.Setting, key string
 			return ep
 		}
 	}
+}
+
+// measureAttempt performs one retry-loop attempt: WithRepeats(n) calls the
+// objective n times and scores the median (noise-robust), while the summed
+// time is what the cost model charges — every repeat runs on the clock. Any
+// failed repeat fails the attempt with that error. With the default single
+// repeat the median and the sum are both the one measurement, preserving
+// the historical arithmetic bit-for-bit.
+func (e *Engine) measureAttempt(ctx context.Context, s space.Setting) (ms, msSum float64, calls int, err error) {
+	n := e.repeats
+	if n < 1 {
+		n = 1
+	}
+	if n == 1 {
+		v, err := e.measureOnce(ctx, s)
+		return v, v, 1, err
+	}
+	vals := make([]float64, 0, n)
+	for i := 0; i < n; i++ {
+		v, err := e.measureOnce(ctx, s)
+		calls++
+		if err != nil {
+			return 0, 0, calls, err
+		}
+		vals = append(vals, v)
+		msSum += v
+	}
+	sort.Float64s(vals)
+	if n%2 == 1 {
+		ms = vals[n/2]
+	} else {
+		ms = (vals[n/2-1] + vals[n/2]) / 2
+	}
+	return ms, msSum, calls, nil
 }
 
 // measureOnce performs a single attempt, bounded by the per-measurement
@@ -310,6 +354,14 @@ func (e *Engine) Quarantined() []string {
 func (e *Engine) accountEpisode(s space.Setting, key string, ep episode) (float64, error) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
+	// Write-ahead: the episode is durable in the campaign journal before any
+	// accounting state changes, so a crash between here and return loses at
+	// most an episode the engine never charged. Replay re-serves the journal
+	// through this same function, which is why it never re-appends.
+	if err := e.journalEpisodeLocked(key, ep); err != nil {
+		return 0, err
+	}
+	defer e.maybeCheckpointLocked()
 	e.stats.Retries += ep.attempts - 1
 	e.stats.Transient += ep.transient
 	e.stats.Timeouts += ep.timeouts
@@ -348,7 +400,7 @@ func (e *Engine) accountEpisode(s space.Setting, key string, ep episode) (float6
 			return 0, ep.err
 		}
 	}
-	e.spentS += e.cost.CompileS + float64(e.cost.Reps)*ep.ms/1000
+	e.spentS += e.cost.CompileS + float64(e.cost.Reps)*ep.msSum/1000
 	e.evals++
 	e.stats.Evaluations++
 	e.stats.SpentS = e.spentS
@@ -370,23 +422,60 @@ func (e *Engine) accountEpisode(s space.Setting, key string, ep episode) (float6
 // (cached results stay free even after cancellation), then quarantine, the
 // run context, and the budget, and finally one retrying measurement episode
 // runs against the inner objective.
+//
+// Concurrent requests for the same uncached key collapse onto one episode:
+// the first caller measures, the rest wait and re-check the cache. Without
+// this, two goroutines racing on one key could each measure and charge it —
+// a schedule-dependent history no journal replay could reproduce.
 func (e *Engine) MeasureCtx(ctx context.Context, s space.Setting) (float64, error) {
 	key := s.Key()
-	if ms, err, ok := e.lookup(key); ok {
-		return ms, err
+	for {
+		if ms, err, ok := e.lookup(key); ok {
+			return ms, err
+		}
+		if e.quarantined(key, true) {
+			return 0, ErrQuarantined
+		}
+		if err := ctx.Err(); err != nil {
+			e.mu.Lock()
+			e.stats.Canceled++
+			e.mu.Unlock()
+			return 0, err
+		}
+		if e.exhausted(true) {
+			return 0, ErrBudget
+		}
+		if e.noCache {
+			// Uncached engines measure every request by design; collapsing
+			// duplicates would change their semantics.
+			ep := e.measureEpisode(ctx, s, key)
+			return e.accountEpisode(s, key, ep)
+		}
+		e.sfMu.Lock()
+		wait, inflight := e.inflight[key]
+		if !inflight {
+			done := make(chan struct{})
+			e.inflight[key] = done
+			e.sfMu.Unlock()
+			ep := e.measureEpisode(ctx, s, key)
+			ms, err := e.accountEpisode(s, key, ep)
+			e.sfMu.Lock()
+			delete(e.inflight, key)
+			close(done)
+			e.sfMu.Unlock()
+			return ms, err
+		}
+		e.sfMu.Unlock()
+		select {
+		case <-wait:
+			// Loop: a cached success or permanent error is now served from
+			// the cache; an uncached outcome (transient exhaustion, budget)
+			// re-runs the gauntlet exactly as a sequential second call would.
+		case <-ctx.Done():
+			e.mu.Lock()
+			e.stats.Canceled++
+			e.mu.Unlock()
+			return 0, ctx.Err()
+		}
 	}
-	if e.quarantined(key, true) {
-		return 0, ErrQuarantined
-	}
-	if err := ctx.Err(); err != nil {
-		e.mu.Lock()
-		e.stats.Canceled++
-		e.mu.Unlock()
-		return 0, err
-	}
-	if e.exhausted(true) {
-		return 0, ErrBudget
-	}
-	ep := e.measureEpisode(ctx, s, key)
-	return e.accountEpisode(s, key, ep)
 }

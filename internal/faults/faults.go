@@ -146,6 +146,22 @@ func (in *Injector) Architecture() *gpu.Arch { return sim.ArchOf(in.inner) }
 // Unwrap returns the inner objective.
 func (in *Injector) Unwrap() sim.Objective { return in.inner }
 
+// RestoreAttempts implements engine.AttemptRestorer: a resumed campaign
+// feeds back the per-setting objective-call counts its journal recorded, so
+// injection decisions — pure functions of (seed, key, attempt) — continue
+// exactly where the crashed run stopped instead of restarting every
+// setting's fault sequence from attempt zero. Counts are max-merged, so
+// restoring over a warm injector never rewinds it.
+func (in *Injector) RestoreAttempts(calls map[string]int) {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	for k, n := range calls {
+		if n > in.attempts[k] {
+			in.attempts[k] = n
+		}
+	}
+}
+
 // Counts returns a snapshot of the injection counters.
 func (in *Injector) Counts() Counts {
 	in.mu.Lock()
@@ -252,8 +268,9 @@ func fnv64(key string) uint64 {
 }
 
 var (
-	_ sim.Objective         = (*Injector)(nil)
-	_ sim.ArchProvider      = (*Injector)(nil)
-	_ engine.CtxObjective   = (*Injector)(nil)
-	_ engine.TransientError = (*Error)(nil)
+	_ sim.Objective          = (*Injector)(nil)
+	_ sim.ArchProvider       = (*Injector)(nil)
+	_ engine.CtxObjective    = (*Injector)(nil)
+	_ engine.TransientError  = (*Error)(nil)
+	_ engine.AttemptRestorer = (*Injector)(nil)
 )

@@ -1,0 +1,76 @@
+package faults
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/engine"
+	"repro/internal/space"
+)
+
+// pairObj is a two-setting objective with known true times: `fast` is
+// genuinely quicker than everything else by a gap smaller than the injected
+// noise amplitude, so a single noisy measurement frequently mis-ranks the
+// pair.
+type pairObj struct {
+	sp   *space.Space
+	fast string
+}
+
+func (o *pairObj) Space() *space.Space { return o.sp }
+
+func (o *pairObj) Measure(s space.Setting) (float64, error) {
+	if s.Key() == o.fast {
+		return 10.0, nil
+	}
+	return 10.4, nil
+}
+
+// TestWithRepeatsSuppressesTimingNoise validates the median-of-n
+// aggregation against the injector's multiplicative timing noise: across a
+// sweep of noise seeds, repeated measurement must mis-rank a close pair of
+// settings strictly less often than single-shot measurement. Injection
+// noise is a pure function of (seed, key, attempt), so the counts — and
+// the test — are deterministic.
+func TestWithRepeatsSuppressesTimingNoise(t *testing.T) {
+	sp, _ := newSim(t)
+	rng := rand.New(rand.NewSource(7))
+	a := sp.Random(rng)
+	b := sp.Random(rng)
+	for b.Key() == a.Key() {
+		b = sp.Random(rng)
+	}
+	obj := &pairObj{sp: sp, fast: a.Key()}
+
+	misranks := func(repeats int) int {
+		mis := 0
+		for seed := uint64(0); seed < 60; seed++ {
+			inj := New(obj, Config{Seed: seed, NoiseFrac: 0.06})
+			eng := engine.New(inj, engine.WithRepeats(repeats))
+			msA, err := eng.Measure(a)
+			if err != nil {
+				t.Fatal(err)
+			}
+			msB, err := eng.Measure(b)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if msB < msA { // noise inverted the true ranking
+				mis++
+			}
+		}
+		return mis
+	}
+
+	mis1 := misranks(1)
+	mis9 := misranks(9)
+	if mis1 < 3 {
+		t.Fatalf("noise too tame to validate against: single-shot mis-ranked only %d/60 seeds", mis1)
+	}
+	if mis9 >= mis1 {
+		t.Fatalf("median-of-9 did not suppress noise: %d/60 mis-ranks vs %d/60 single-shot", mis9, mis1)
+	}
+	if 2*mis9 > mis1 {
+		t.Fatalf("median-of-9 suppression too weak: %d/60 vs %d/60 single-shot", mis9, mis1)
+	}
+}

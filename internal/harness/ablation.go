@@ -14,7 +14,7 @@ type AblationRow struct {
 	BestMS  float64
 }
 
-// ablationVariants enumerates the pipeline variants DESIGN.md §7 calls out:
+// ablationVariants enumerates the pipeline variants DESIGN.md §8 calls out:
 // the full system, Algorithm 1 disabled (singleton groups), the CV(top-n)
 // approximation stop disabled, and a diluted 50% sampling ratio.
 func ablationVariants() []struct {

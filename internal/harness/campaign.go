@@ -1,0 +1,192 @@
+package harness
+
+import (
+	"context"
+	"fmt"
+	"strings"
+
+	"repro/internal/baselines"
+	"repro/internal/baselines/artemis"
+	"repro/internal/baselines/cstuner"
+	"repro/internal/baselines/garvey"
+	"repro/internal/baselines/opentuner"
+	"repro/internal/engine"
+	"repro/internal/faults"
+	"repro/internal/journal"
+	"repro/internal/space"
+)
+
+// CampaignConfig describes one resumable tuning campaign: a method racing a
+// virtual budget on a fixture, optionally journaled to disk so a killed run
+// can be resumed, and optionally hardened against an injected-fault testbed.
+type CampaignConfig struct {
+	// Method is one of "cstuner", "opentuner", "garvey", "artemis".
+	Method string
+	// BudgetS is the virtual auto-tuning budget in seconds (0 = unlimited —
+	// only sensible for methods that terminate on their own).
+	BudgetS float64
+	// Seed drives the tuner, the engine's backoff jitter, and (via the
+	// fingerprint) journal identity.
+	Seed int64
+	// Workers bounds the engine's batch worker pool (0 = engine default).
+	// Campaign outcomes are identical at any worker count; Workers is
+	// deliberately not part of the fingerprint, so a journal written at one
+	// worker count resumes at another.
+	Workers int
+	// Repeats is the engine's median-of-n measurement aggregation (0/1 = one
+	// call per attempt).
+	Repeats int
+	// Quarantine, when > 0, quarantines a setting after that many
+	// definitively-failed episodes (engine.WithQuarantine).
+	Quarantine int
+	// JournalPath, when non-empty, makes the campaign crash-safe: episodes
+	// are write-ahead logged there, and a journal already on disk is
+	// resumed.
+	JournalPath string
+	// CheckpointEvery overrides the journal's compaction period in episodes
+	// (0 = journal default; negative disables checkpoints).
+	CheckpointEvery int
+	// Faults, when non-nil, wraps the simulator in the seeded fault
+	// injector — the adversarial testbed the kill-matrix tests run under.
+	Faults *faults.Config
+	// OnJournal, when set, is invoked with the opened journal before any
+	// measurement — the seam crash-matrix tests use to install snapshot
+	// hooks. Production callers leave it nil.
+	OnJournal func(*journal.Journal)
+}
+
+// CampaignResult is the canonical outcome of one campaign: everything the
+// resume acceptance criteria compare byte-for-byte. Wall-clock quantities
+// (timing spans) are deliberately absent — they can never be identical
+// across runs.
+type CampaignResult struct {
+	Best       space.Setting
+	BestMS     float64
+	Found      bool
+	Stats      engine.Stats
+	Trajectory []engine.Point
+	Quarantine []string
+	// Replayed counts episodes served from the journal instead of the
+	// objective; informational, excluded from Canonical so an interrupted
+	// and an uninterrupted run compare equal.
+	Replayed int
+}
+
+// Canonical renders the run-semantic outcome as one deterministic string: a
+// resumed campaign is correct exactly when its Canonical equals the
+// uninterrupted run's.
+func (r *CampaignResult) Canonical() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "best=%v bestms=%.12g found=%v\n", r.Best, r.BestMS, r.Found)
+	fmt.Fprintf(&b, "stats=%+v\n", r.Stats)
+	fmt.Fprintf(&b, "quarantine=%v\n", r.Quarantine)
+	for i, p := range r.Trajectory {
+		fmt.Fprintf(&b, "traj[%d]=%.12g,%d,%.12g\n", i, p.CostS, p.Evals, p.BestMS)
+	}
+	return b.String()
+}
+
+// CampaignFingerprint identifies a campaign for journal compatibility. It
+// is built from explicit scalar fields only — never from reflective struct
+// dumps, which would drag pointers (e.g. function-valued config fields)
+// into the identity.
+func CampaignFingerprint(fx *Fixture, cfg CampaignConfig) string {
+	fp := fmt.Sprintf("cstuner-campaign|v1|stencil=%s|arch=%s|method=%s|seed=%d|budget=%g|repeats=%d|quar=%d|ds=%d",
+		fx.Stencil.Name, fx.Sim.Arch.Name, cfg.Method, cfg.Seed, cfg.BudgetS, cfg.Repeats, cfg.Quarantine, len(fx.DS.Samples))
+	if f := cfg.Faults; f != nil {
+		fp += fmt.Sprintf("|faults=%d,%g,%d,%g,%g,%g,%g,%v,%g",
+			f.Seed, f.TransientRate, f.MaxTransientPerKey, f.PermanentRate,
+			f.NoiseFrac, f.NoiseAddMS, f.SlowRate, f.SlowDelay, f.HangRate)
+	}
+	return fp
+}
+
+// CampaignTuner builds the baselines.Tuner for a campaign method. csTuner's
+// GA is pinned to a single sub-population: the island model measures from
+// concurrent goroutines, whose accounting order is scheduling-dependent —
+// harmless for the best-setting result, fatal for byte-identical resume.
+// The other three methods measure sequentially as published.
+func CampaignTuner(method string) (baselines.Tuner, error) {
+	switch method {
+	case "cstuner":
+		t := cstuner.New()
+		t.Cfg.GA.SubPopulations = 1
+		t.Cfg.GA.PopSize = 32 // keep the paper's 32-individual population
+		return t, nil
+	case "opentuner":
+		return opentuner.New(), nil
+	case "garvey":
+		return garvey.New(), nil
+	case "artemis":
+		return artemis.New(), nil
+	}
+	return nil, fmt.Errorf("harness: unknown campaign method %q", method)
+}
+
+// RunCampaign runs (or, when cfg.JournalPath holds a previous run's
+// journal, resumes) one campaign to completion and returns its canonical
+// result. Resume is deterministic re-execution: the tuner re-runs from the
+// start, and the engine serves every episode the journal already paid for
+// instead of measuring it, so the final result is byte-identical to the
+// uninterrupted run's.
+func RunCampaign(ctx context.Context, fx *Fixture, cfg CampaignConfig) (*CampaignResult, error) {
+	t, err := CampaignTuner(cfg.Method)
+	if err != nil {
+		return nil, err
+	}
+	opts := []engine.Option{
+		engine.WithCost(DefaultCostModel()),
+		engine.WithBudget(cfg.BudgetS),
+		engine.WithSeed(uint64(cfg.Seed)),
+	}
+	if cfg.Workers > 0 {
+		opts = append(opts, engine.WithWorkers(cfg.Workers))
+	}
+	if cfg.Repeats > 1 {
+		opts = append(opts, engine.WithRepeats(cfg.Repeats))
+	}
+	if cfg.Quarantine > 0 {
+		opts = append(opts, engine.WithQuarantine(cfg.Quarantine))
+	}
+	var jr *journal.Journal
+	if cfg.JournalPath != "" {
+		jr, err = journal.OpenOrCreate(cfg.JournalPath, CampaignFingerprint(fx, cfg))
+		if err != nil {
+			return nil, err
+		}
+		defer jr.Close()
+		if cfg.CheckpointEvery != 0 {
+			jr.SetCheckpointEvery(cfg.CheckpointEvery)
+		}
+		if cfg.OnJournal != nil {
+			cfg.OnJournal(jr)
+		}
+		opts = append(opts, engine.WithJournal(jr))
+	}
+	var obj = fx.Sim
+	eng := func() *engine.Engine {
+		if cfg.Faults != nil {
+			return engine.New(faults.New(obj, *cfg.Faults), opts...)
+		}
+		return engine.New(obj, opts...)
+	}()
+
+	_, _, tuneErr := t.Tune(ctx, eng, fx.DS, cfg.Seed, eng.Exhausted)
+	if jerr := eng.JournalErr(); jerr != nil {
+		return nil, jerr
+	}
+	res := &CampaignResult{
+		Stats:      eng.Stats(),
+		Trajectory: eng.Trajectory(),
+		Quarantine: eng.Quarantined(),
+		Replayed:   eng.Replayed(),
+	}
+	if set, ms, ok := eng.Best(); ok {
+		res.Best, res.BestMS, res.Found = set, ms, true
+	} else if tuneErr != nil {
+		// Budget-stop with at least one measurement is the normal end of a
+		// campaign; an error with nothing measured is a hard failure.
+		return nil, fmt.Errorf("harness: campaign %s: %w", cfg.Method, tuneErr)
+	}
+	return res, nil
+}

@@ -1,0 +1,89 @@
+package journal
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// FuzzJournalRecord throws arbitrary bytes at Open: whatever the file
+// holds, Open must recover a prefix or fail with a clean error — never
+// panic, never hang. When it does open, the round-trip property must hold:
+// appending an episode and reopening recovers exactly the recovered prefix
+// plus the new episode.
+func FuzzJournalRecord(f *testing.F) {
+	// Seed corpus: a real journal, its header alone, torn and corrupted
+	// variants, and adversarial non-journals.
+	dir := f.TempDir()
+	seedPath := filepath.Join(dir, "seed.wal")
+	j, err := Create(seedPath, "fuzz-fp")
+	if err != nil {
+		f.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if err := j.Append(Episode{Key: string(rune('a' + i)), Class: ClassOK, MS: float64(i) + 0.5, MSSum: float64(i) + 0.5, Attempts: 1, Calls: 1, CostS: 1.5}); err != nil {
+			f.Fatal(err)
+		}
+	}
+	if err := j.Checkpoint(Summary{Evaluations: 3}); err != nil {
+		f.Fatal(err)
+	}
+	if err := j.Append(Episode{Key: "d", Class: ClassTransient, Err: "flaky", Attempts: 3, Calls: 3, Transient: 3, BackoffS: 1.5, CostS: 1.505}); err != nil {
+		f.Fatal(err)
+	}
+	j.Close()
+	seed, err := os.ReadFile(seedPath)
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(seed)
+	f.Add(seed[:len(seed)/2])
+	f.Add(seed[:frameHeaderLen+3])
+	mut := append([]byte(nil), seed...)
+	mut[len(mut)/2] ^= 0x40
+	f.Add(mut)
+	f.Add([]byte{})
+	f.Add([]byte("go test fuzz corpus is not a journal"))
+	f.Add(bytes.Repeat([]byte{0xff}, 64))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		p := filepath.Join(t.TempDir(), "fuzz.wal")
+		if err := os.WriteFile(p, data, 0o644); err != nil {
+			t.Skip()
+		}
+		jr, err := Open(p, "fuzz-fp")
+		if err != nil {
+			// Any failure must be a wrapped journal error, never a panic
+			// (a panic fails the fuzz run on its own).
+			if !errors.Is(err, ErrCorrupt) && !errors.Is(err, ErrFingerprint) {
+				t.Fatalf("unclassified open error: %v", err)
+			}
+			return
+		}
+		before := jr.Recovered()
+		extra := Episode{Key: "fuzz-appended", Class: ClassOK, MS: 1, MSSum: 1, Attempts: 1, Calls: 1, CostS: 1.503}
+		if err := jr.Append(extra); err != nil {
+			t.Fatalf("append after recovery: %v", err)
+		}
+		jr.Close()
+		jr2, err := Open(p, "fuzz-fp")
+		if err != nil {
+			t.Fatalf("reopen after append: %v", err)
+		}
+		defer jr2.Close()
+		after := jr2.Recovered()
+		if len(after) != len(before)+1 {
+			t.Fatalf("round trip: %d episodes before append, %d after", len(before), len(after))
+		}
+		for i := range before {
+			if after[i] != before[i] {
+				t.Fatalf("round trip changed episode %d: %+v != %+v", i, after[i], before[i])
+			}
+		}
+		if after[len(after)-1] != extra {
+			t.Fatalf("appended episode mangled: %+v", after[len(after)-1])
+		}
+	})
+}

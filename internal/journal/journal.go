@@ -1,0 +1,505 @@
+// Package journal is the crash-safe write-ahead log behind resumable tuning
+// campaigns. Real campaigns die mid-run — node preemption, OOM kills, an
+// operator's Ctrl-C — and every measurement already paid for is lost with
+// them. The journal makes the measurement history durable: the engine
+// appends one record per finished evaluation episode *before* the episode's
+// effects reach any in-memory state, so a run killed at any instant can be
+// replayed deterministically up to its last durable record.
+//
+// On-disk format. The file is a sequence of frames:
+//
+//	[u32le payload length][u32le CRC32C of payload][payload]
+//
+// The payload is a JSON-encoded tagged record: a header (magic, version,
+// campaign fingerprint), an evaluation episode, or a checkpoint. Appends are
+// fsync'd, so a crash can tear at most the final frame; Open verifies every
+// frame's CRC and truncates the torn tail back to the last intact record.
+// Corruption of the header itself (or a fingerprint that does not match the
+// resuming campaign's configuration) fails cleanly — never a panic, and
+// never a silently wrong resume.
+//
+// Checkpoints compact the log: every CheckpointEvery appended episodes the
+// journal rewrites itself as [header][checkpoint] — the checkpoint frame
+// carrying the full compacted episode history plus a summary of the engine
+// state (stats counters, budget meter, quarantine set) — via the classic
+// temp-file + rename + directory-fsync dance, so the file is replaced
+// atomically and subsequent episodes append after the checkpoint.
+//
+// The journal stores measurement *outcomes*, not engine state machines:
+// resume works by re-running the (deterministic) campaign from the start
+// while the engine serves recorded episodes from the journal instead of the
+// objective (see internal/engine and DESIGN.md §6).
+package journal
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"sync"
+)
+
+const (
+	// Magic identifies a csTuner campaign journal.
+	Magic = "csjournal"
+	// Version is the current record-format version.
+	Version = 1
+
+	// maxPayload bounds a single frame; anything larger is corruption (a
+	// torn or flipped length prefix), not a legitimate record.
+	maxPayload = 64 << 20
+
+	frameHeaderLen = 8
+)
+
+// DefaultCheckpointEvery is the default compaction period, in appended
+// episodes. Checkpoints trade a full rewrite against faster recovery and a
+// bounded frame count; campaigns are measurement-bound, so a rewrite every
+// few dozen episodes is noise.
+const DefaultCheckpointEvery = 64
+
+var (
+	// ErrCorrupt is returned when the journal header (or a checkpoint the
+	// history depends on) cannot be trusted. Tail corruption is not an
+	// error: torn tails are truncated and the intact prefix recovered.
+	ErrCorrupt = errors.New("journal: corrupt journal")
+	// ErrFingerprint is returned when the journal was written by a campaign
+	// with a different configuration fingerprint: replaying it into the
+	// resuming run would silently produce garbage.
+	ErrFingerprint = errors.New("journal: campaign fingerprint mismatch")
+	// ErrClosed is returned by operations on a closed journal.
+	ErrClosed = errors.New("journal: closed")
+)
+
+// Episode outcome classes. Cancellation is deliberately absent: a cancelled
+// episode is the shutdown itself, charges nothing, and is never journaled.
+const (
+	ClassOK        = "ok"
+	ClassTransient = "transient"
+	ClassPermanent = "permanent"
+	ClassBudget    = "budget"
+)
+
+// Header identifies the campaign a journal belongs to.
+type Header struct {
+	Magic   string `json:"magic"`
+	Version int    `json:"version"`
+	// Fingerprint is an opaque campaign-identity string (stencil, arch,
+	// configuration, seed, budget). Open refuses a journal whose
+	// fingerprint differs from the resuming campaign's.
+	Fingerprint string `json:"fingerprint"`
+}
+
+// Episode is one durable evaluation-episode record: the outcome of up to
+// MaxAttempts measurement attempts at one setting, exactly as the engine
+// accounted it.
+type Episode struct {
+	// Key is the measured setting's space.Setting.Key().
+	Key string `json:"key"`
+	// Class is the outcome class (ClassOK/Transient/Permanent/Budget).
+	Class string `json:"class"`
+	// MS is the scored kernel time (the median across repeats) and MSSum
+	// the summed repeat time the cost model charges; both valid only for
+	// ClassOK.
+	MS    float64 `json:"ms,omitempty"`
+	MSSum float64 `json:"ms_sum,omitempty"`
+	// Err is the failure message for non-OK classes.
+	Err string `json:"err,omitempty"`
+	// Attempts is the number of retry-loop attempts the episode used;
+	// Calls the number of objective invocations (attempts × repeats on the
+	// success path). Calls lets a resumed run restore per-setting state in
+	// stateful objectives (see engine.AttemptRestorer).
+	Attempts int `json:"attempts"`
+	Calls    int `json:"calls"`
+	// Transient and Timeouts are the episode's transient-failure and
+	// deadline-expiry counts; BackoffS the virtual retry backoff charged.
+	Transient int     `json:"transient,omitempty"`
+	Timeouts  int     `json:"timeouts,omitempty"`
+	BackoffS  float64 `json:"backoff_s,omitempty"`
+	// CostS is the total virtual cost the engine charged for the episode
+	// (backoff plus compile/run or check cost). Informational: replay
+	// recomputes the charge from the same inputs, and the cost model is
+	// pinned by the campaign fingerprint.
+	CostS float64 `json:"cost_s"`
+}
+
+// Summary is the engine-state snapshot stored alongside a checkpoint's
+// compacted history: the budget meter, the counter block, and the
+// quarantine set. It exists for observability and post-mortem tooling; the
+// authoritative resume state is the episode history itself.
+type Summary struct {
+	SpentS          float64  `json:"spent_s"`
+	BudgetS         float64  `json:"budget_s"`
+	Evaluations     int      `json:"evaluations"`
+	CacheHits       int      `json:"cache_hits"`
+	Invalid         int      `json:"invalid"`
+	BudgetTrips     int      `json:"budget_trips"`
+	Transient       int      `json:"transient"`
+	Retries         int      `json:"retries"`
+	Timeouts        int      `json:"timeouts"`
+	Quarantined     int      `json:"quarantined"`
+	QuarantineSkips int      `json:"quarantine_skips"`
+	Canceled        int      `json:"canceled"`
+	BestKey         string   `json:"best_key,omitempty"`
+	BestMS          float64  `json:"best_ms,omitempty"`
+	Quarantine      []string `json:"quarantine,omitempty"`
+}
+
+// Checkpoint is one compaction point: the full episode history up to it,
+// plus the engine summary at the moment it was taken.
+type Checkpoint struct {
+	Episodes []Episode `json:"episodes"`
+	Summary  Summary   `json:"summary"`
+}
+
+// record is the tagged union every frame payload decodes into.
+type record struct {
+	T    string      `json:"t"` // "hdr", "ep" or "ckpt"
+	Hdr  *Header     `json:"hdr,omitempty"`
+	Ep   *Episode    `json:"ep,omitempty"`
+	Ckpt *Checkpoint `json:"ckpt,omitempty"`
+}
+
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// Journal is one campaign's crash-safe measurement log. It is safe for
+// concurrent use; the engine appends under its own accounting lock, so
+// record order matches accounting order.
+type Journal struct {
+	mu        sync.Mutex
+	path      string
+	f         *os.File
+	hdr       Header
+	history   []Episode // full campaign history: recovered + appended
+	recovered int       // len(history) at Open time
+	sinceCkpt int
+	ckptEvery int
+	closed    bool
+
+	// OnDurable, when set, is called (outside locks held by callers, but
+	// under the journal's own) after every durable write — an append's
+	// fsync or a checkpoint's rename — with the current record count. It
+	// exists for crash-matrix tests that snapshot the file at every
+	// durable point; production code leaves it nil.
+	OnDurable func(records int)
+}
+
+// Create starts a fresh journal at path, failing if the file exists.
+func Create(path, fingerprint string) (*Journal, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE|os.O_EXCL, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("journal: create: %w", err)
+	}
+	j := &Journal{
+		path:      path,
+		f:         f,
+		hdr:       Header{Magic: Magic, Version: Version, Fingerprint: fingerprint},
+		ckptEvery: DefaultCheckpointEvery,
+	}
+	if err := j.writeFrame(record{T: "hdr", Hdr: &j.hdr}); err != nil {
+		f.Close()
+		os.Remove(path)
+		return nil, err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("journal: sync: %w", err)
+	}
+	syncDir(path)
+	return j, nil
+}
+
+// Open opens an existing journal for resume: it validates the header,
+// rejects a foreign fingerprint (unless fingerprint is empty, which skips
+// the check), replays checkpoints and episode frames into the recovered
+// history, truncates any torn tail back to the last intact frame, and
+// positions the file for further appends.
+func Open(path, fingerprint string) (*Journal, error) {
+	f, err := os.OpenFile(path, os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("journal: open: %w", err)
+	}
+	data, err := io.ReadAll(f)
+	if err != nil {
+		f.Close()
+		return nil, fmt.Errorf("journal: read: %w", err)
+	}
+
+	// The header frame must be intact and trusted; everything after it is
+	// recoverable.
+	payload, next, err := readFrame(data, 0)
+	if err != nil {
+		f.Close()
+		return nil, fmt.Errorf("%w: unreadable header frame: %v", ErrCorrupt, err)
+	}
+	var hr record
+	if err := json.Unmarshal(payload, &hr); err != nil || hr.T != "hdr" || hr.Hdr == nil {
+		f.Close()
+		return nil, fmt.Errorf("%w: first frame is not a journal header", ErrCorrupt)
+	}
+	hdr := *hr.Hdr
+	if hdr.Magic != Magic {
+		f.Close()
+		return nil, fmt.Errorf("%w: bad magic %q", ErrCorrupt, hdr.Magic)
+	}
+	if hdr.Version > Version || hdr.Version < 1 {
+		f.Close()
+		return nil, fmt.Errorf("%w: unsupported version %d", ErrCorrupt, hdr.Version)
+	}
+	if fingerprint != "" && hdr.Fingerprint != fingerprint {
+		f.Close()
+		return nil, fmt.Errorf("%w:\n  journal: %s\n  campaign: %s", ErrFingerprint, hdr.Fingerprint, fingerprint)
+	}
+
+	var history []Episode
+	good := next
+	for next < len(data) {
+		payload, n, err := readFrame(data, next)
+		if err != nil {
+			break // torn or corrupt tail: recover the intact prefix
+		}
+		var r record
+		if err := json.Unmarshal(payload, &r); err != nil {
+			break
+		}
+		switch r.T {
+		case "ep":
+			if r.Ep == nil {
+				err = fmt.Errorf("episode frame without episode")
+			} else {
+				history = append(history, *r.Ep)
+			}
+		case "ckpt":
+			if r.Ckpt == nil {
+				err = fmt.Errorf("checkpoint frame without checkpoint")
+			} else {
+				// A checkpoint compacts everything before it.
+				history = append([]Episode(nil), r.Ckpt.Episodes...)
+			}
+		default:
+			err = fmt.Errorf("unknown record type %q", r.T)
+		}
+		if err != nil {
+			break
+		}
+		next = n
+		good = n
+	}
+	if good < len(data) {
+		if err := f.Truncate(int64(good)); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("journal: truncate torn tail: %w", err)
+		}
+	}
+	if _, err := f.Seek(int64(good), io.SeekStart); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("journal: seek: %w", err)
+	}
+	return &Journal{
+		path:      path,
+		f:         f,
+		hdr:       hdr,
+		history:   history,
+		recovered: len(history),
+		ckptEvery: DefaultCheckpointEvery,
+	}, nil
+}
+
+// OpenOrCreate resumes the journal at path when it exists and starts a
+// fresh one otherwise — the ergonomic entry point for "just re-run the
+// same command after a crash" campaigns.
+func OpenOrCreate(path, fingerprint string) (*Journal, error) {
+	if _, err := os.Stat(path); err == nil {
+		return Open(path, fingerprint)
+	} else if !errors.Is(err, os.ErrNotExist) {
+		return nil, fmt.Errorf("journal: stat: %w", err)
+	}
+	return Create(path, fingerprint)
+}
+
+// readFrame decodes the frame starting at off and returns its payload and
+// the offset of the next frame.
+func readFrame(data []byte, off int) ([]byte, int, error) {
+	if off+frameHeaderLen > len(data) {
+		return nil, 0, fmt.Errorf("short frame header at %d", off)
+	}
+	n := int(binary.LittleEndian.Uint32(data[off : off+4]))
+	sum := binary.LittleEndian.Uint32(data[off+4 : off+8])
+	if n == 0 || n > maxPayload {
+		return nil, 0, fmt.Errorf("implausible frame length %d at %d", n, off)
+	}
+	start := off + frameHeaderLen
+	if start+n > len(data) {
+		return nil, 0, fmt.Errorf("short frame payload at %d", off)
+	}
+	payload := data[start : start+n]
+	if crc32.Checksum(payload, castagnoli) != sum {
+		return nil, 0, fmt.Errorf("crc mismatch at %d", off)
+	}
+	return payload, start + n, nil
+}
+
+// writeFrame marshals and appends one frame at the current file position.
+func (j *Journal) writeFrame(r record) error {
+	payload, err := json.Marshal(r)
+	if err != nil {
+		return fmt.Errorf("journal: marshal: %w", err)
+	}
+	var hdr [frameHeaderLen]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(hdr[4:8], crc32.Checksum(payload, castagnoli))
+	if _, err := j.f.Write(hdr[:]); err != nil {
+		return fmt.Errorf("journal: write: %w", err)
+	}
+	if _, err := j.f.Write(payload); err != nil {
+		return fmt.Errorf("journal: write: %w", err)
+	}
+	return nil
+}
+
+// Append durably logs one evaluation episode: the frame is written and
+// fsync'd before Append returns, so a crash after it can always replay the
+// episode.
+func (j *Journal) Append(ep Episode) error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.closed {
+		return ErrClosed
+	}
+	if err := j.writeFrame(record{T: "ep", Ep: &ep}); err != nil {
+		return err
+	}
+	if err := j.f.Sync(); err != nil {
+		return fmt.Errorf("journal: sync: %w", err)
+	}
+	j.history = append(j.history, ep)
+	j.sinceCkpt++
+	if j.OnDurable != nil {
+		j.OnDurable(len(j.history))
+	}
+	return nil
+}
+
+// SetCheckpointEvery sets the compaction period in appended episodes;
+// n <= 0 disables automatic checkpoints.
+func (j *Journal) SetCheckpointEvery(n int) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.ckptEvery = n
+}
+
+// MaybeCheckpoint compacts the log when the checkpoint period has elapsed
+// since the last compaction; otherwise it is a no-op. The engine calls it
+// after every accounted episode with its current state summary.
+func (j *Journal) MaybeCheckpoint(sum Summary) error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.closed {
+		return ErrClosed
+	}
+	if j.ckptEvery <= 0 || j.sinceCkpt < j.ckptEvery {
+		return nil
+	}
+	return j.checkpointLocked(sum)
+}
+
+// Checkpoint forces a compaction now.
+func (j *Journal) Checkpoint(sum Summary) error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.closed {
+		return ErrClosed
+	}
+	return j.checkpointLocked(sum)
+}
+
+// checkpointLocked rewrites the journal as [header][checkpoint] through a
+// temp file renamed over the original, so the journal is replaced
+// atomically: a crash at any instant leaves either the old intact file or
+// the new intact file, never a hybrid.
+func (j *Journal) checkpointLocked(sum Summary) error {
+	tmpPath := j.path + ".tmp"
+	tmp, err := os.OpenFile(tmpPath, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return fmt.Errorf("journal: checkpoint temp: %w", err)
+	}
+	nj := &Journal{path: tmpPath, f: tmp}
+	cp := Checkpoint{Episodes: j.history, Summary: sum}
+	if err := nj.writeFrame(record{T: "hdr", Hdr: &j.hdr}); err != nil {
+		tmp.Close()
+		os.Remove(tmpPath)
+		return err
+	}
+	if err := nj.writeFrame(record{T: "ckpt", Ckpt: &cp}); err != nil {
+		tmp.Close()
+		os.Remove(tmpPath)
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		os.Remove(tmpPath)
+		return fmt.Errorf("journal: checkpoint sync: %w", err)
+	}
+	if err := os.Rename(tmpPath, j.path); err != nil {
+		tmp.Close()
+		os.Remove(tmpPath)
+		return fmt.Errorf("journal: checkpoint rename: %w", err)
+	}
+	syncDir(j.path)
+	j.f.Close()
+	j.f = tmp
+	j.sinceCkpt = 0
+	if j.OnDurable != nil {
+		j.OnDurable(len(j.history))
+	}
+	return nil
+}
+
+// Recovered returns the episodes recovered at Open time — the replay set a
+// resumed engine consumes. A freshly created journal recovers nothing.
+func (j *Journal) Recovered() []Episode {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return append([]Episode(nil), j.history[:j.recovered]...)
+}
+
+// Records returns the number of episodes in the campaign history
+// (recovered plus appended).
+func (j *Journal) Records() int {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return len(j.history)
+}
+
+// Fingerprint returns the campaign fingerprint stored in the header.
+func (j *Journal) Fingerprint() string { return j.hdr.Fingerprint }
+
+// Path returns the journal's file path.
+func (j *Journal) Path() string { return j.path }
+
+// Close releases the file handle. Appends already returned were durable
+// before Close; there is nothing to flush.
+func (j *Journal) Close() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.closed {
+		return nil
+	}
+	j.closed = true
+	return j.f.Close()
+}
+
+// syncDir fsyncs the directory containing path so a rename or create is
+// durable; best-effort (some filesystems refuse directory fsync).
+func syncDir(path string) {
+	d, err := os.Open(filepath.Dir(path))
+	if err != nil {
+		return
+	}
+	d.Sync()
+	d.Close()
+}
