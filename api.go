@@ -217,6 +217,7 @@ func (s *Session) ResumeTune(ctx context.Context, path string, cfg Config, budge
 	if err != nil {
 		return nil, err
 	}
+	//cstlint:allow errdrop(teardown close after the last fsynced frame; no caller can act on the error)
 	defer jr.Close()
 	eng := engine.New(s.sim,
 		engine.WithCost(engine.DefaultCostModel()),

@@ -68,7 +68,7 @@ func main() {
 			fail(err)
 		}
 		ds, err = dataset.Load(f)
-		f.Close()
+		_ = f.Close() // read-only handle; Load's error is the one that matters
 		if err != nil {
 			fail(err)
 		}
@@ -87,7 +87,7 @@ func main() {
 			fail(err)
 		}
 		if err := ds.Save(f); err != nil {
-			f.Close()
+			_ = f.Close() // already failing; Save's error wins
 			fail(err)
 		}
 		if err := f.Close(); err != nil {

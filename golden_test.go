@@ -3,6 +3,14 @@ package cstuner
 import (
 	"fmt"
 	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/engine"
+	"repro/internal/gpu"
+	"repro/internal/sim"
+	"repro/internal/space"
+	"repro/internal/stencil"
 )
 
 // The engine refactor must not move a single measurement: these values were
@@ -96,6 +104,46 @@ func TestGoldenSessionTune(t *testing.T) {
 	}
 	if again := run(); again != got {
 		t.Fatalf("Session.Tune nondeterministic:\n  1st %s\n  2nd %s", got, again)
+	}
+}
+
+// TestGoldenTuneClockInvariant proves the engine's clock seam carries no
+// result weight: the same fixed-seed tune, run through a fake clock that has
+// nothing to do with wall time, reproduces the golden report byte-for-byte.
+// If any stage ever let a wall-clock read feed a measurement, a seed, or an
+// ordering decision, this run would diverge from the default-clock golden.
+func TestGoldenTuneClockInvariant(t *testing.T) {
+	st := stencil.ByName("j3d7pt")
+	if st == nil {
+		t.Fatal("unknown stencil j3d7pt")
+	}
+	arch, err := gpu.ByName("a100")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sp, err := space.New(st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	clk, reads := engine.FakeClock(time.Millisecond)
+	eng := engine.New(sim.New(sp, arch), engine.WithClock(clk))
+
+	cfg := DefaultConfig()
+	cfg.DatasetSize = 64
+	cfg.Seed = 7
+	cfg.EmitKernels = false
+	rep, err := core.Tune(eng, nil, cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := goldenFmt(rep.Best, rep.BestMS); got != goldenTune {
+		t.Fatalf("fake-clock tune drifted from golden:\n got %s\nwant %s", got, goldenTune)
+	}
+	if reads() == 0 {
+		t.Fatal("fake clock never read: timing spans bypassed the seam")
+	}
+	if len(rep.Spans) == 0 || rep.Overhead.Sampling <= 0 {
+		t.Fatalf("overhead accounting lost under fake clock: spans=%v overhead=%+v", rep.Spans, rep.Overhead)
 	}
 }
 

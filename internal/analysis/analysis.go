@@ -1,0 +1,150 @@
+// Package analysis is the repo-native static-analysis suite behind
+// cmd/cstlint. The reproduction's value rests on invariants no test can
+// exhaustively check — results byte-identical across worker counts and
+// resumes, every measurement charged before state mutates, generated kernels
+// consistent with the priced resource model — so this package proves the
+// code-level preconditions of those invariants statically, on every commit:
+//
+//   - nodeterm: no raw wall-clock or global-RNG reads in result-affecting
+//     packages (the engine.Clock seam is the one sanctioned path);
+//   - maporder: no map iteration whose order can leak into results, output
+//     or measurements;
+//   - errdrop: no silently discarded error returns from internal/os/io
+//     calls (an explicit `_ =` is the visible opt-out);
+//   - lockcall: no objective measurements or user callbacks invoked while
+//     an engine mutex is held;
+//   - directive: every //cstlint:allow annotation is well-formed, names a
+//     real analyzer, and still suppresses something.
+//
+// The driver is pure stdlib (go/parser, go/ast, go/types, go/token): it
+// loads every package in the module from source, type-checks it, runs the
+// analyzer suite, applies allow directives, and reports findings as
+// "file:line: [analyzer] message".
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Diagnostic is one finding: an analyzer's claim about a source position.
+type Diagnostic struct {
+	Pos      token.Pos
+	Analyzer string
+	Message  string
+}
+
+// Analyzer is one named check. Run inspects the pass's package and reports
+// findings through pass.Reportf.
+type Analyzer struct {
+	Name string
+	Doc  string
+	Run  func(*Pass)
+}
+
+// Pass is one (analyzer, package) execution.
+type Pass struct {
+	Analyzer *Analyzer
+	Pkg      *Package
+
+	// ResultAffecting marks packages whose behaviour reaches tuning results
+	// (the driver's scope predicate; nodeterm only fires inside it).
+	ResultAffecting bool
+	// ModulePath scopes errdrop's "own module" test ("repro" for real runs,
+	// "repro" again for fixtures via their stub tree).
+	ModulePath string
+
+	diags *[]Diagnostic
+}
+
+// Reportf records one finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	*p.diags = append(*p.diags, Diagnostic{
+		Pos:      pos,
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// TypeOf returns the static type of expr, or nil when unknown.
+func (p *Pass) TypeOf(expr ast.Expr) types.Type {
+	return p.Pkg.Info.TypeOf(expr)
+}
+
+// calleeObj resolves the object a call expression invokes: the *types.Func
+// of a direct function or method call, the *types.Var of a call through a
+// function-typed variable or field, a *types.Builtin for append and friends,
+// or nil when the callee is not a simple reference (e.g. an immediately
+// invoked function literal or a conversion).
+func calleeObj(info *types.Info, call *ast.CallExpr) types.Object {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		return info.Uses[fun]
+	case *ast.SelectorExpr:
+		return info.Uses[fun.Sel]
+	}
+	return nil
+}
+
+// pkgPath returns the import path of the package obj belongs to, or "" for
+// universe-scope objects (builtins, error).
+func pkgPath(obj types.Object) string {
+	if obj == nil || obj.Pkg() == nil {
+		return ""
+	}
+	return obj.Pkg().Path()
+}
+
+// isPkgFunc reports whether call invokes the package-level function
+// path.name (methods excluded).
+func isPkgFunc(info *types.Info, call *ast.CallExpr, path string, names ...string) bool {
+	obj := calleeObj(info, call)
+	fn, ok := obj.(*types.Func)
+	if !ok || pkgPath(fn) != path {
+		return false
+	}
+	if sig, ok := fn.Type().(*types.Signature); !ok || sig.Recv() != nil {
+		return false
+	}
+	for _, n := range names {
+		if fn.Name() == n {
+			return true
+		}
+	}
+	return false
+}
+
+// returnsError reports whether the callee's signature includes a result of
+// type error.
+func returnsError(obj types.Object) bool {
+	sig, ok := obj.Type().Underlying().(*types.Signature)
+	if !ok {
+		return false
+	}
+	errType := types.Universe.Lookup("error").Type()
+	for i := 0; i < sig.Results().Len(); i++ {
+		if types.Identical(sig.Results().At(i).Type(), errType) {
+			return true
+		}
+	}
+	return false
+}
+
+// hasMethod reports whether t (or *t) has a method or embedded field named
+// name — used to recognize objective-shaped receivers.
+func hasMethod(t types.Type, name string) bool {
+	if t == nil {
+		return false
+	}
+	obj, _, _ := types.LookupFieldOrMethod(t, true, nil, name)
+	return obj != nil
+}
+
+// DefaultAnalyzers returns the full suite in reporting order. The directive
+// validator is not in the list: it runs inside the driver, after
+// suppression, because it must observe which allows were used.
+func DefaultAnalyzers() []*Analyzer {
+	return []*Analyzer{NoDeterm, MapOrder, ErrDrop, LockCall}
+}

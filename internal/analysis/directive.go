@@ -1,0 +1,108 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"regexp"
+	"strings"
+)
+
+// DirectivePrefix introduces every cstlint control comment.
+const DirectivePrefix = "//cstlint:"
+
+// allowRe is the allow-directive grammar: //cstlint:allow name(reason).
+// The reason is mandatory — an unexplained suppression is itself a finding.
+var allowRe = regexp.MustCompile(`^//cstlint:allow\s+([A-Za-z][A-Za-z0-9_]*)\((.*)\)\s*$`)
+
+// directive is one parsed //cstlint: comment.
+type directive struct {
+	pos      token.Pos
+	file     string
+	line     int
+	analyzer string
+	reason   string
+	malform  string // non-empty when the comment failed to parse
+	used     bool
+}
+
+// parseDirectives extracts every cstlint control comment from the package's
+// files.
+func parseDirectives(fset *token.FileSet, files []*ast.File) []*directive {
+	var out []*directive
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimSpace(c.Text)
+				if !strings.HasPrefix(text, DirectivePrefix) {
+					continue
+				}
+				p := fset.Position(c.Pos())
+				d := &directive{pos: c.Pos(), file: p.Filename, line: p.Line}
+				m := allowRe.FindStringSubmatch(text)
+				switch {
+				case m == nil:
+					d.malform = "directive must match //cstlint:allow analyzer(reason)"
+				case strings.TrimSpace(m[2]) == "":
+					d.analyzer = m[1]
+					d.malform = "allow directive needs a non-empty reason"
+				default:
+					d.analyzer = m[1]
+					d.reason = strings.TrimSpace(m[2])
+				}
+				out = append(out, d)
+			}
+		}
+	}
+	return out
+}
+
+// applyDirectives removes diagnostics suppressed by a well-formed allow
+// directive for the same analyzer on the diagnostic's line or the line
+// directly above it (so a directive can trail the statement or sit on its
+// own line before it), marking each directive that suppressed something.
+func applyDirectives(fset *token.FileSet, diags []Diagnostic, dirs []*directive) []Diagnostic {
+	kept := diags[:0]
+	for _, dg := range diags {
+		p := fset.Position(dg.Pos)
+		suppressed := false
+		for _, d := range dirs {
+			if d.malform != "" || d.analyzer != dg.Analyzer || d.file != p.Filename {
+				continue
+			}
+			if d.line == p.Line || d.line == p.Line-1 {
+				d.used = true
+				suppressed = true
+			}
+		}
+		if !suppressed {
+			kept = append(kept, dg)
+		}
+	}
+	return kept
+}
+
+// DirectiveName is the reserved analyzer name for directive-validation
+// findings; it cannot itself be allow-suppressed.
+const DirectiveName = "directive"
+
+// directiveFindings validates the package's directives after suppression:
+// malformed comments, unknown analyzer names, and stale allows that no
+// longer suppress anything are all findings. Stale allows matter as much as
+// the real analyzers — a dead suppression is a silent hole the next true
+// finding falls through.
+func directiveFindings(dirs []*directive, known map[string]bool) []Diagnostic {
+	var out []Diagnostic
+	for _, d := range dirs {
+		switch {
+		case d.malform != "":
+			out = append(out, Diagnostic{Pos: d.pos, Analyzer: DirectiveName, Message: d.malform})
+		case !known[d.analyzer]:
+			out = append(out, Diagnostic{Pos: d.pos, Analyzer: DirectiveName,
+				Message: "allow names unknown analyzer \"" + d.analyzer + "\""})
+		case !d.used:
+			out = append(out, Diagnostic{Pos: d.pos, Analyzer: DirectiveName,
+				Message: "stale allow: no " + d.analyzer + " finding is suppressed here; delete the directive"})
+		}
+	}
+	return out
+}

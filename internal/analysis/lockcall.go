@@ -1,0 +1,221 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// LockCall flags objective measurements and user callbacks invoked while an
+// engine mutex is held. An objective's Measure can block for a full kernel
+// benchmark; running one under a lock serializes every other worker behind a
+// GPU-length critical section, and invoking a user callback under a lock
+// invites deadlock the moment the callback re-enters the engine. Locked
+// regions are computed per function from sync.Mutex/RWMutex Lock/Unlock
+// pairs (including defer-Unlock), and functions following the repo's
+// *Locked naming convention are treated as locked over their whole body.
+var LockCall = &Analyzer{
+	Name: "lockcall",
+	Doc:  "flags objective measurements and user callbacks made while a mutex is held",
+	Run:  runLockCall,
+}
+
+func runLockCall(pass *Pass) {
+	info := pass.Pkg.Info
+	for _, f := range pass.Pkg.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			runLockCallFunc(pass, info, fd)
+		}
+	}
+}
+
+// lockInterval is one source region during which the named mutex is held.
+type lockInterval struct {
+	from, to token.Pos
+	key      string // rendered mutex expression, e.g. "e.mu"
+}
+
+const (
+	evLock = iota
+	evUnlock
+	evDeferUnlock
+)
+
+type lockEvent struct {
+	pos  token.Pos
+	key  string
+	kind int
+}
+
+func runLockCallFunc(pass *Pass, info *types.Info, fd *ast.FuncDecl) {
+	intervals := lockedIntervals(info, fd)
+	if len(intervals) == 0 {
+		return
+	}
+	params := paramObjects(info, fd)
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false // closures run at an unknown time, not under this frame's locks
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		what := riskyCall(pass, info, call, params)
+		if what == "" {
+			return true
+		}
+		for _, iv := range intervals {
+			if call.Pos() > iv.from && call.Pos() < iv.to {
+				pass.Reportf(call.Pos(),
+					"%s invoked while %s is held; release the lock around long-running or re-entrant calls", what, iv.key)
+				return true
+			}
+		}
+		return true
+	})
+}
+
+// lockedIntervals reconstructs the regions of fd's body during which a mutex
+// is held, from the position-ordered sequence of Lock/Unlock events. A
+// *Locked-suffixed function is one region spanning its whole body — the
+// repo's convention for "caller holds the lock".
+func lockedIntervals(info *types.Info, fd *ast.FuncDecl) []lockInterval {
+	if strings.HasSuffix(fd.Name.Name, "Locked") {
+		return []lockInterval{{
+			from: fd.Body.Pos(), to: fd.Body.End(),
+			key: "the receiver's lock (the *Locked naming convention)",
+		}}
+	}
+	var events []lockEvent
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch st := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.DeferStmt:
+			if key, kind, ok := syncCall(info, st.Call); ok && kind == evUnlock {
+				events = append(events, lockEvent{pos: st.Pos(), key: key, kind: evDeferUnlock})
+			}
+			return false
+		case *ast.CallExpr:
+			if key, kind, ok := syncCall(info, st); ok {
+				events = append(events, lockEvent{pos: st.Pos(), key: key, kind: kind})
+			}
+		}
+		return true
+	})
+	sort.Slice(events, func(i, j int) bool { return events[i].pos < events[j].pos })
+
+	held := map[string][]token.Pos{}
+	var out []lockInterval
+	for _, ev := range events {
+		switch ev.kind {
+		case evLock:
+			held[ev.key] = append(held[ev.key], ev.pos)
+		case evUnlock, evDeferUnlock:
+			stack := held[ev.key]
+			if len(stack) == 0 {
+				continue // unlock of a lock taken by the caller; no interval here
+			}
+			from := stack[len(stack)-1]
+			held[ev.key] = stack[:len(stack)-1]
+			to := ev.pos
+			if ev.kind == evDeferUnlock {
+				to = fd.Body.End() // deferred unlock holds to function exit
+			}
+			out = append(out, lockInterval{from: from, to: to, key: ev.key})
+		}
+	}
+	keys := make([]string, 0, len(held))
+	for key := range held {
+		keys = append(keys, key)
+	}
+	sort.Strings(keys)
+	for _, key := range keys {
+		for _, from := range held[key] {
+			out = append(out, lockInterval{from: from, to: fd.Body.End(), key: key})
+		}
+	}
+	return out
+}
+
+// syncCall classifies a call as a sync.Mutex/RWMutex lock or unlock,
+// returning the rendered mutex expression as the interval key.
+func syncCall(info *types.Info, call *ast.CallExpr) (key string, kind int, ok bool) {
+	sel, isSel := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !isSel {
+		return "", 0, false
+	}
+	fn, isFn := info.Uses[sel.Sel].(*types.Func)
+	if !isFn || pkgPath(fn) != "sync" {
+		return "", 0, false
+	}
+	switch fn.Name() {
+	case "Lock", "RLock":
+		return types.ExprString(sel.X), evLock, true
+	case "Unlock", "RUnlock":
+		return types.ExprString(sel.X), evUnlock, true
+	}
+	return "", 0, false
+}
+
+// paramObjects collects fd's parameter objects so calls through func-typed
+// parameters (caller-supplied callbacks) can be recognized.
+func paramObjects(info *types.Info, fd *ast.FuncDecl) map[types.Object]bool {
+	out := map[types.Object]bool{}
+	if fd.Type.Params == nil {
+		return out
+	}
+	for _, field := range fd.Type.Params.List {
+		for _, name := range field.Names {
+			if obj := info.Defs[name]; obj != nil {
+				out[obj] = true
+			}
+		}
+	}
+	return out
+}
+
+// riskyCall classifies a call that must not run under a lock: an objective
+// measurement (the Measure* family, or Run/RunBatch on an objective-shaped
+// receiver) or a user callback (a call through a func-typed struct field or
+// function parameter — values the engine does not control). Local closures
+// are not flagged: they are this function's own code and visible in review.
+func riskyCall(pass *Pass, info *types.Info, call *ast.CallExpr, params map[types.Object]bool) string {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.SelectorExpr:
+		switch obj := info.Uses[fun.Sel].(type) {
+		case *types.Func:
+			sig, ok := obj.Type().(*types.Signature)
+			if !ok || sig.Recv() == nil {
+				return ""
+			}
+			if objectiveMethods[obj.Name()] {
+				return "objective " + types.ExprString(fun)
+			}
+			if (obj.Name() == "Run" || obj.Name() == "RunBatch") && hasMethod(pass.TypeOf(fun.X), "Space") {
+				return "objective " + types.ExprString(fun)
+			}
+		case *types.Var:
+			if obj.IsField() && isFuncTyped(obj) {
+				return "callback field " + types.ExprString(fun)
+			}
+		}
+	case *ast.Ident:
+		if obj, ok := info.Uses[fun].(*types.Var); ok && params[obj] && isFuncTyped(obj) {
+			return "callback parameter " + fun.Name
+		}
+	}
+	return ""
+}
+
+func isFuncTyped(v *types.Var) bool {
+	_, ok := v.Type().Underlying().(*types.Signature)
+	return ok
+}

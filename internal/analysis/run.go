@@ -1,0 +1,104 @@
+package analysis
+
+import (
+	"fmt"
+	"go/token"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Config controls one driver run.
+type Config struct {
+	// Root is the absolute directory of the tree to lint.
+	Root string
+	// ModulePath is the module's import path; empty for bare fixture trees.
+	ModulePath string
+	// ResultAffecting overrides the scope predicate for nodeterm. Nil means
+	// the default: any package with an "internal" path segment.
+	ResultAffecting func(pkgPath string) bool
+	// Analyzers overrides the suite; nil means DefaultAnalyzers.
+	Analyzers []*Analyzer
+}
+
+// Result is one driver run's output.
+type Result struct {
+	Fset  *token.FileSet
+	Diags []Diagnostic
+}
+
+// Run loads every package under cfg.Root, runs the analyzer suite on each,
+// applies allow directives, validates the directives themselves, and returns
+// the position-sorted findings.
+func Run(cfg Config) (*Result, error) {
+	analyzers := cfg.Analyzers
+	if analyzers == nil {
+		analyzers = DefaultAnalyzers()
+	}
+	ra := cfg.ResultAffecting
+	if ra == nil {
+		ra = func(pkgPath string) bool {
+			return strings.Contains("/"+pkgPath+"/", "/internal/")
+		}
+	}
+	known := map[string]bool{}
+	for _, a := range analyzers {
+		known[a.Name] = true
+	}
+
+	l := NewLoader(cfg.Root, cfg.ModulePath)
+	pkgs, err := l.LoadAll()
+	if err != nil {
+		return nil, err
+	}
+
+	var all []Diagnostic
+	for _, pkg := range pkgs {
+		var diags []Diagnostic
+		for _, a := range analyzers {
+			a.Run(&Pass{
+				Analyzer:        a,
+				Pkg:             pkg,
+				ResultAffecting: ra(pkg.PkgPath),
+				ModulePath:      cfg.ModulePath,
+				diags:           &diags,
+			})
+		}
+		dirs := parseDirectives(l.Fset, pkg.Files)
+		diags = applyDirectives(l.Fset, diags, dirs)
+		diags = append(diags, directiveFindings(dirs, known)...)
+		all = append(all, diags...)
+	}
+
+	sort.Slice(all, func(i, j int) bool {
+		pi, pj := l.Fset.Position(all[i].Pos), l.Fset.Position(all[j].Pos)
+		if pi.Filename != pj.Filename {
+			return pi.Filename < pj.Filename
+		}
+		if pi.Line != pj.Line {
+			return pi.Line < pj.Line
+		}
+		if pi.Column != pj.Column {
+			return pi.Column < pj.Column
+		}
+		return all[i].Analyzer < all[j].Analyzer
+	})
+	return &Result{Fset: l.Fset, Diags: all}, nil
+}
+
+// Format renders the findings as "file:line: [analyzer] message" lines, with
+// file paths relative to base when possible.
+func (r *Result) Format(base string) []string {
+	out := make([]string, 0, len(r.Diags))
+	for _, d := range r.Diags {
+		p := r.Fset.Position(d.Pos)
+		file := p.Filename
+		if base != "" {
+			if rel, err := filepath.Rel(base, file); err == nil && !strings.HasPrefix(rel, "..") {
+				file = rel
+			}
+		}
+		out = append(out, fmt.Sprintf("%s:%d: [%s] %s", filepath.ToSlash(file), p.Line, d.Analyzer, d.Message))
+	}
+	return out
+}

@@ -1,0 +1,16 @@
+// Package g is the driver golden fixture: two findings from two analyzers,
+// pinning output order and formatting.
+package g
+
+import (
+	"os"
+	"time"
+)
+
+func Stamp() int64 {
+	return time.Now().UnixNano()
+}
+
+func Drop(path string) {
+	os.Remove(path)
+}

@@ -1,0 +1,26 @@
+// Package dv is the directive-validation fixture. A want-above comment
+// pins the expected finding to the directive's own line — the directive
+// grammar requires the comment to end at the closing paren, so the
+// expectation cannot share its line.
+package dv
+
+import "os"
+
+//cstlint:allow errdrop
+// want-above directive "must match"
+
+//cstlint:allow errdrop()
+// want-above directive "non-empty reason"
+
+//cstlint:allow nosuchanalyzer(reason)
+// want-above directive "unknown analyzer"
+
+//cstlint:allow errdrop(this suppresses nothing)
+// want-above directive "stale allow"
+
+// Used holds the one live allow: it suppresses a real finding, so the
+// directive validator stays silent about it.
+func Used(path string) {
+	//cstlint:allow errdrop(fixture demonstrates a live allow)
+	os.Remove(path)
+}

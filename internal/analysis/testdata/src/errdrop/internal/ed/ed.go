@@ -1,0 +1,43 @@
+// Package ed is the errdrop fixture: silently discarded error returns from
+// same-package, os, and io calls, plus the sanctioned `_ =` opt-out and
+// out-of-jurisdiction negatives.
+package ed
+
+import (
+	"fmt"
+	"os"
+)
+
+func helper() error { return nil }
+
+func DropSamePackage() {
+	helper() // want errdrop "discards the error returned by helper"
+}
+
+func DropOS(path string) {
+	os.Remove(path) // want errdrop "os.Remove"
+}
+
+func DeferDrop(f *os.File) {
+	defer f.Close() // want errdrop "defers and discards"
+}
+
+func GoDrop() {
+	go helper() // want errdrop "goroutine"
+}
+
+// ExplicitDiscard is the sanctioned opt-out: visible and greppable.
+func ExplicitDiscard(path string) {
+	_ = os.Remove(path)
+}
+
+// NotScoped: fmt returns an error too, but it is outside errdrop's
+// jurisdiction (module, os, io only).
+func NotScoped() {
+	fmt.Println("x")
+}
+
+func Suppressed(path string) {
+	//cstlint:allow errdrop(fixture demonstrates suppression)
+	os.Remove(path)
+}

@@ -1,0 +1,72 @@
+// Package lc is the lockcall fixture: objective measurements and user
+// callbacks invoked inside Lock/Unlock regions, defer-Unlock regions, and
+// *Locked-convention functions, plus after-unlock and local-closure
+// negatives.
+package lc
+
+import "sync"
+
+type span struct{}
+
+type obj struct{}
+
+func (obj) Measure(k int) (float64, error) { return 0, nil }
+func (obj) Space() *span                   { return nil }
+func (obj) Run(k int) error                { return nil }
+
+type engine struct {
+	mu       sync.Mutex
+	o        obj
+	callback func(int)
+}
+
+func (e *engine) UnderLock(k int) {
+	e.mu.Lock()
+	_, _ = e.o.Measure(k) // want lockcall "objective e.o.Measure"
+	e.mu.Unlock()
+}
+
+func (e *engine) DeferUnlock(k int) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	_ = e.o.Run(k) // want lockcall "objective e.o.Run"
+}
+
+func (e *engine) CallbackUnderLock(k int) {
+	e.mu.Lock()
+	e.callback(k) // want lockcall "callback field e.callback"
+	e.mu.Unlock()
+}
+
+func (e *engine) ParamUnderLock(f func() error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	_ = f() // want lockcall "callback parameter f"
+}
+
+func (e *engine) bestLocked(k int) float64 {
+	v, _ := e.o.Measure(k) // want lockcall "objective e.o.Measure"
+	return v
+}
+
+// AfterUnlock measures outside the critical section: no finding.
+func (e *engine) AfterUnlock(k int) {
+	e.mu.Lock()
+	e.mu.Unlock()
+	_, _ = e.o.Measure(k)
+}
+
+// LocalClosure calls this function's own code under the lock: not flagged.
+func (e *engine) LocalClosure(k int) {
+	add := func(int) {}
+	e.mu.Lock()
+	add(k)
+	e.mu.Unlock()
+}
+
+func (e *engine) Suppressed(k int) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	//cstlint:allow lockcall(fixture demonstrates suppression)
+	e.callback(k)
+}

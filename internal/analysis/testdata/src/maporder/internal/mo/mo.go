@@ -1,0 +1,63 @@
+// Package mo is the maporder fixture: map-range loops whose bodies leak
+// iteration order into slices, output, and objective measurements, plus the
+// sanctioned sorted/annotated escapes.
+package mo
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+type obj struct{}
+
+func (obj) Measure(k int) (float64, error) { return 0, nil }
+
+func AppendUnsorted(m map[string]int) []int {
+	var out []int
+	for _, v := range m { // want maporder "never sorted"
+		out = append(out, v)
+	}
+	return out
+}
+
+func PrintLoop(w io.Writer, m map[string]int) {
+	for k, v := range m { // want maporder "reaches program output"
+		fmt.Fprintf(w, "%s=%d\n", k, v)
+	}
+}
+
+func MeasureLoop(o obj, m map[string]int) {
+	for _, v := range m { // want maporder "objective measurement order"
+		_, _ = o.Measure(v)
+	}
+}
+
+// SortedAfter is the sanctioned append-then-sort idiom: the later sort
+// launders iteration order back out.
+func SortedAfter(m map[string]int) []int {
+	var out []int
+	for _, v := range m {
+		out = append(out, v)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// Invert writes map-to-map: no ordered sink, no finding.
+func Invert(m map[string]int) map[int]string {
+	out := make(map[int]string, len(m))
+	for k, v := range m {
+		out[v] = k
+	}
+	return out
+}
+
+func Suppressed(m map[string]int) []int {
+	var out []int
+	//cstlint:allow maporder(fixture demonstrates suppression)
+	for _, v := range m {
+		out = append(out, v)
+	}
+	return out
+}

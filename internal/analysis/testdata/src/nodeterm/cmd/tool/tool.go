@@ -1,0 +1,7 @@
+// Package tool is the nodeterm negative fixture: no internal path segment,
+// so it is not result-affecting and wall-clock reads are unrestricted.
+package tool
+
+import "time"
+
+func Stamp() time.Time { return time.Now() }

@@ -1,0 +1,44 @@
+// Package app is a nodeterm fixture: a result-affecting package (its import
+// path has an internal segment) exercising every wall-clock and RNG rule.
+package app
+
+import (
+	"math/rand"
+	"time"
+)
+
+// Clock mirrors the production seam: holding time.Now as a *value* is the
+// sanctioned pattern and must not be flagged.
+var Clock func() time.Time = time.Now
+
+func Stamp() int64 {
+	return time.Now().UnixNano() // want nodeterm "time.Now called"
+}
+
+func Age(t time.Time) time.Duration {
+	return time.Since(t) // want nodeterm "time.Since called"
+}
+
+func Roll() int {
+	return rand.Intn(6) // want nodeterm "math/rand.Intn"
+}
+
+func HiddenSeed() *rand.Rand {
+	src := rand.NewSource(42)
+	return rand.New(src) // want nodeterm "seed provenance"
+}
+
+// SeededRNG is the sanctioned construction: the seed is evident at the site.
+func SeededRNG(seed int64) *rand.Rand {
+	return rand.New(rand.NewSource(seed))
+}
+
+// SeededDraw draws from an explicitly seeded generator: methods are fine.
+func SeededDraw(r *rand.Rand) int {
+	return r.Intn(6)
+}
+
+func Suppressed() time.Time {
+	//cstlint:allow nodeterm(fixture demonstrates suppression)
+	return time.Now()
+}

@@ -147,7 +147,7 @@ func TuneCtx(ctx context.Context, obj sim.Objective, ds *dataset.Dataset, cfg Co
 	sp := eng.Space()
 	rng := rand.New(rand.NewSource(cfg.Seed))
 	statsBefore := eng.Stats()
-	started := time.Now()
+	started := eng.Now()
 
 	if ds == nil {
 		if !eng.CanCollect() {
@@ -181,7 +181,7 @@ func TuneCtx(ctx context.Context, obj sim.Objective, ds *dataset.Dataset, cfg Co
 	}
 
 	// ---- Pre-processing: parameter grouping (Sec. IV-C) -----------------
-	t0 := time.Now()
+	t0 := eng.Now()
 	stopSpan := eng.Time("grouping")
 	pairs := grouping.PairCVs(ds, sp)
 	groups := grouping.Groups(pairs, cfg.MaxGroupSize)
@@ -190,13 +190,13 @@ func TuneCtx(ctx context.Context, obj sim.Objective, ds *dataset.Dataset, cfg Co
 	}
 	rep.Groups = groups
 	stopSpan()
-	rep.Overhead.Grouping = time.Since(t0)
+	rep.Overhead.Grouping = eng.Now().Sub(t0)
 	if err := ctx.Err(); err != nil {
 		return partial(rep, eng, ds, statsBefore, started), err
 	}
 
 	// ---- Pre-processing: search-space sampling (Sec. IV-D) --------------
-	t0 = time.Now()
+	t0 = eng.Now()
 	stopSpan = eng.Time("sampling")
 	names := metricNames(ds)
 	mpairs, err := metrics.PairPCCs(ds, names)
@@ -237,7 +237,7 @@ func TuneCtx(ctx context.Context, obj sim.Objective, ds *dataset.Dataset, cfg Co
 	}
 	rep.SampledSize = len(sampled.Settings)
 	stopSpan()
-	rep.Overhead.Sampling = time.Since(t0)
+	rep.Overhead.Sampling = eng.Now().Sub(t0)
 	if err := ctx.Err(); err != nil {
 		return partial(rep, eng, ds, statsBefore, started), err
 	}
@@ -247,7 +247,7 @@ func TuneCtx(ctx context.Context, obj sim.Objective, ds *dataset.Dataset, cfg Co
 	// codegen reaches the target arch through any wrapper chain.
 	if cfg.EmitKernels && sp.Stencil != nil {
 		if arch := sim.ArchOf(eng); arch != nil {
-			t0 = time.Now()
+			t0 = eng.Now()
 			stopSpan = eng.Time("codegen")
 			for _, set := range sampled.Settings {
 				k, err := kernel.Build(sp, set, arch)
@@ -258,7 +258,7 @@ func TuneCtx(ctx context.Context, obj sim.Objective, ds *dataset.Dataset, cfg Co
 				rep.GeneratedCUDA++
 			}
 			stopSpan()
-			rep.Overhead.Codegen = time.Since(t0)
+			rep.Overhead.Codegen = eng.Now().Sub(t0)
 		}
 	}
 
@@ -274,7 +274,7 @@ func TuneCtx(ctx context.Context, obj sim.Objective, ds *dataset.Dataset, cfg Co
 		// The run was cut during the search: mark the cancellation point as a
 		// span so resumed runs can account the wall-time this partial run
 		// actually covered.
-		eng.ObserveSpan("canceled", time.Since(started))
+		eng.ObserveSpan("canceled", eng.Now().Sub(started))
 		rep.Engine = eng.Stats()
 		rep.Evaluations = rep.Engine.Evaluations - statsBefore.Evaluations
 		rep.Spans = eng.Spans()
@@ -300,7 +300,7 @@ func partial(rep *Report, eng *engine.Engine, ds *dataset.Dataset, statsBefore e
 		b := ds.Best()
 		rep.Best, rep.BestMS = b.Setting.Clone(), b.TimeMS
 	}
-	eng.ObserveSpan("canceled", time.Since(started))
+	eng.ObserveSpan("canceled", eng.Now().Sub(started))
 	rep.Engine = eng.Stats()
 	rep.Evaluations = rep.Engine.Evaluations - statsBefore.Evaluations
 	rep.Spans = eng.Spans()

@@ -1,0 +1,80 @@
+package engine
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/space"
+)
+
+type clockObj struct{ sp *space.Space }
+
+func (o *clockObj) Measure(s space.Setting) (float64, error) { return 1.0, nil }
+func (o *clockObj) Space() *space.Space                      { return o.sp }
+
+func clockSpace(t *testing.T) *space.Space {
+	t.Helper()
+	sp, err := space.NewCustom([]space.Param{
+		{Name: "a", Kind: space.KindEnum, Values: []int{1, 2, 3}},
+	}, nil, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sp
+}
+
+// TestFakeClockDrivesSpans pins span arithmetic exactly: with a fake clock
+// stepping 1ms per read, a Time span costs two reads and observes exactly
+// one step.
+func TestFakeClockDrivesSpans(t *testing.T) {
+	clk, reads := FakeClock(time.Millisecond)
+	e := New(&clockObj{sp: clockSpace(t)}, WithClock(clk))
+
+	stop := e.Time("stage")
+	stop()
+	stop = e.Time("stage")
+	stop()
+
+	spans := e.Spans()
+	if len(spans) != 1 {
+		t.Fatalf("spans = %v, want exactly one", spans)
+	}
+	sp := spans[0]
+	if sp.Name != "stage" || sp.Count != 2 {
+		t.Fatalf("span = %+v, want stage/count=2", sp)
+	}
+	// Each Time bracket reads the clock twice, one step apart.
+	if want := 2 * time.Millisecond; sp.Total != want {
+		t.Fatalf("span total = %v, want %v", sp.Total, want)
+	}
+	if got := reads(); got != 4 {
+		t.Fatalf("clock reads = %d, want 4", got)
+	}
+}
+
+// TestFakeClockRereadsAreMonotonic guards the FakeClock contract the span
+// tests rely on: strictly increasing readings, Now() included.
+func TestFakeClockRereadsAreMonotonic(t *testing.T) {
+	clk, _ := FakeClock(time.Second)
+	e := New(&clockObj{sp: clockSpace(t)}, WithClock(clk))
+	prev := e.Now()
+	for i := 0; i < 5; i++ {
+		cur := e.Now()
+		if !cur.After(prev) {
+			t.Fatalf("clock went backwards: %v then %v", prev, cur)
+		}
+		prev = cur
+	}
+}
+
+// TestDefaultClockIsWall ensures the default engine still reads real time:
+// Now() values bracket the test's own wall clock reads.
+func TestDefaultClockIsWall(t *testing.T) {
+	e := New(&clockObj{sp: clockSpace(t)})
+	before := time.Now()
+	got := e.Now()
+	after := time.Now()
+	if got.Before(before) || got.After(after) {
+		t.Fatalf("default clock read %v outside [%v, %v]", got, before, after)
+	}
+}

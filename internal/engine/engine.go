@@ -162,6 +162,7 @@ type Engine struct {
 	quarAfter      int
 	repeats        int
 	jr             *journal.Journal
+	clock          Clock
 
 	mu        sync.Mutex
 	times     map[string]float64
@@ -209,6 +210,7 @@ func New(obj sim.Objective, opts ...Option) *Engine {
 		quar:      map[string]struct{}{},
 		spans:     map[string]*Span{},
 		inflight:  map[string]chan struct{}{},
+		clock:     time.Now, // value use: the sanctioned wall-clock seam (see Clock)
 	}
 	for _, o := range opts {
 		o(e)
@@ -382,8 +384,8 @@ func (e *Engine) Workers() int { return e.workers }
 //
 //	defer eng.Time("grouping")()
 func (e *Engine) Time(name string) func() {
-	start := time.Now()
-	return func() { e.ObserveSpan(name, time.Since(start)) }
+	start := e.clock()
+	return func() { e.ObserveSpan(name, e.clock().Sub(start)) }
 }
 
 // ObserveSpan records one already-measured duration under a named span —

@@ -211,6 +211,8 @@ func (e *Engine) summaryLocked() journal.Summary {
 		Quarantined:     e.stats.Quarantined,
 		QuarantineSkips: e.stats.QuarantineSkips,
 		Canceled:        e.stats.Canceled,
+		//cstlint:allow lockcall(the injected clock is a sub-microsecond read that never re-enters the engine)
+		WallUnixNano: e.clock().UnixNano(),
 	}
 	if e.best >= 0 {
 		s.BestKey = e.bestSet.Key()

@@ -299,6 +299,7 @@ func (m *memo) best() (int, float64) {
 func (m *memo) topValues(n int) []float64 {
 	m.mu.Lock()
 	vals := make([]float64, 0, len(m.vals))
+	//cstlint:allow maporder(stats.TopN fully sorts vals, so collection order cannot reach the result)
 	for _, v := range m.vals {
 		if !math.IsInf(v, 0) && !math.IsNaN(v) {
 			vals = append(vals, v)

@@ -63,9 +63,18 @@ func directionalCV(ds *dataset.Dataset, pi, pj int) float64 {
 	if len(bestByValue) < 2 {
 		return math.Inf(1)
 	}
+	// Iterate Pi values in sorted order: CV's floating-point sums depend on
+	// operand order, so ranging the map directly would let Go's randomized
+	// iteration order perturb the CV in the last bits — enough to reorder
+	// near-tied pairs in Groups and change the final grouping between runs.
+	piVals := make([]int, 0, len(bestByValue))
+	for v := range bestByValue {
+		piVals = append(piVals, v)
+	}
+	sort.Ints(piVals)
 	series := make([]float64, 0, len(bestByValue))
-	for _, idx := range bestByValue {
-		series = append(series, stats.Log2(float64(ds.Samples[idx].Setting[pj]))+1)
+	for _, v := range piVals {
+		series = append(series, stats.Log2(float64(ds.Samples[bestByValue[v]].Setting[pj]))+1)
 	}
 	cv, err := stats.CV(series)
 	if err != nil {

@@ -154,6 +154,7 @@ func RunCampaign(ctx context.Context, fx *Fixture, cfg CampaignConfig) (*Campaig
 		if err != nil {
 			return nil, err
 		}
+		//cstlint:allow errdrop(teardown close after the last fsynced frame; no caller can act on the error)
 		defer jr.Close()
 		if cfg.CheckpointEvery != 0 {
 			jr.SetCheckpointEvery(cfg.CheckpointEvery)

@@ -371,7 +371,7 @@ func emitArtifacts(o Options, name string, c *plot.Chart) error {
 		return err
 	}
 	if err := c.WriteSVG(svg); err != nil {
-		svg.Close()
+		_ = svg.Close() // write already failed; its error wins
 		return err
 	}
 	if err := svg.Close(); err != nil {
@@ -382,7 +382,7 @@ func emitArtifacts(o Options, name string, c *plot.Chart) error {
 		return err
 	}
 	if err := c.WriteCSV(csv); err != nil {
-		csv.Close()
+		_ = csv.Close() // write already failed; its error wins
 		return err
 	}
 	return csv.Close()

@@ -147,6 +147,10 @@ type Summary struct {
 	BestKey         string   `json:"best_key,omitempty"`
 	BestMS          float64  `json:"best_ms,omitempty"`
 	Quarantine      []string `json:"quarantine,omitempty"`
+	// WallUnixNano stamps when the checkpoint was taken, read through the
+	// engine's injectable clock (engine.Clock) — forensic only, never
+	// replayed, and deterministic under a fake clock.
+	WallUnixNano int64 `json:"wall_unix_nano,omitempty"`
 }
 
 // Checkpoint is one compaction point: the full episode history up to it,
@@ -201,12 +205,12 @@ func Create(path, fingerprint string) (*Journal, error) {
 		ckptEvery: DefaultCheckpointEvery,
 	}
 	if err := j.writeFrame(record{T: "hdr", Hdr: &j.hdr}); err != nil {
-		f.Close()
-		os.Remove(path)
+		_ = f.Close()
+		_ = os.Remove(path)
 		return nil, err
 	}
 	if err := f.Sync(); err != nil {
-		f.Close()
+		_ = f.Close()
 		return nil, fmt.Errorf("journal: sync: %w", err)
 	}
 	syncDir(path)
@@ -225,7 +229,7 @@ func Open(path, fingerprint string) (*Journal, error) {
 	}
 	data, err := io.ReadAll(f)
 	if err != nil {
-		f.Close()
+		_ = f.Close()
 		return nil, fmt.Errorf("journal: read: %w", err)
 	}
 
@@ -233,25 +237,25 @@ func Open(path, fingerprint string) (*Journal, error) {
 	// recoverable.
 	payload, next, err := readFrame(data, 0)
 	if err != nil {
-		f.Close()
+		_ = f.Close()
 		return nil, fmt.Errorf("%w: unreadable header frame: %v", ErrCorrupt, err)
 	}
 	var hr record
 	if err := json.Unmarshal(payload, &hr); err != nil || hr.T != "hdr" || hr.Hdr == nil {
-		f.Close()
+		_ = f.Close()
 		return nil, fmt.Errorf("%w: first frame is not a journal header", ErrCorrupt)
 	}
 	hdr := *hr.Hdr
 	if hdr.Magic != Magic {
-		f.Close()
+		_ = f.Close()
 		return nil, fmt.Errorf("%w: bad magic %q", ErrCorrupt, hdr.Magic)
 	}
 	if hdr.Version > Version || hdr.Version < 1 {
-		f.Close()
+		_ = f.Close()
 		return nil, fmt.Errorf("%w: unsupported version %d", ErrCorrupt, hdr.Version)
 	}
 	if fingerprint != "" && hdr.Fingerprint != fingerprint {
-		f.Close()
+		_ = f.Close()
 		return nil, fmt.Errorf("%w:\n  journal: %s\n  campaign: %s", ErrFingerprint, hdr.Fingerprint, fingerprint)
 	}
 
@@ -291,12 +295,12 @@ func Open(path, fingerprint string) (*Journal, error) {
 	}
 	if good < len(data) {
 		if err := f.Truncate(int64(good)); err != nil {
-			f.Close()
+			_ = f.Close()
 			return nil, fmt.Errorf("journal: truncate torn tail: %w", err)
 		}
 	}
 	if _, err := f.Seek(int64(good), io.SeekStart); err != nil {
-		f.Close()
+		_ = f.Close()
 		return nil, fmt.Errorf("journal: seek: %w", err)
 	}
 	return &Journal{
@@ -379,6 +383,7 @@ func (j *Journal) Append(ep Episode) error {
 	j.history = append(j.history, ep)
 	j.sinceCkpt++
 	if j.OnDurable != nil {
+		//cstlint:allow lockcall(OnDurable's documented contract is test-only, fast, and runs under j.mu by design)
 		j.OnDurable(len(j.history))
 	}
 	return nil
@@ -430,30 +435,31 @@ func (j *Journal) checkpointLocked(sum Summary) error {
 	nj := &Journal{path: tmpPath, f: tmp}
 	cp := Checkpoint{Episodes: j.history, Summary: sum}
 	if err := nj.writeFrame(record{T: "hdr", Hdr: &j.hdr}); err != nil {
-		tmp.Close()
-		os.Remove(tmpPath)
+		_ = tmp.Close()
+		_ = os.Remove(tmpPath)
 		return err
 	}
 	if err := nj.writeFrame(record{T: "ckpt", Ckpt: &cp}); err != nil {
-		tmp.Close()
-		os.Remove(tmpPath)
+		_ = tmp.Close()
+		_ = os.Remove(tmpPath)
 		return err
 	}
 	if err := tmp.Sync(); err != nil {
-		tmp.Close()
-		os.Remove(tmpPath)
+		_ = tmp.Close()
+		_ = os.Remove(tmpPath)
 		return fmt.Errorf("journal: checkpoint sync: %w", err)
 	}
 	if err := os.Rename(tmpPath, j.path); err != nil {
-		tmp.Close()
-		os.Remove(tmpPath)
+		_ = tmp.Close()
+		_ = os.Remove(tmpPath)
 		return fmt.Errorf("journal: checkpoint rename: %w", err)
 	}
 	syncDir(j.path)
-	j.f.Close()
+	_ = j.f.Close() // old pre-compaction handle; the rename made tmp authoritative
 	j.f = tmp
 	j.sinceCkpt = 0
 	if j.OnDurable != nil {
+		//cstlint:allow lockcall(OnDurable's documented contract is test-only, fast, and runs under j.mu by design)
 		j.OnDurable(len(j.history))
 	}
 	return nil
@@ -500,6 +506,6 @@ func syncDir(path string) {
 	if err != nil {
 		return
 	}
-	d.Sync()
-	d.Close()
+	_ = d.Sync()
+	_ = d.Close()
 }
