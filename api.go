@@ -5,12 +5,14 @@ import (
 	"fmt"
 	"io"
 	"math/rand"
+	"net/http"
 
 	"repro/internal/baselines"
 	"repro/internal/baselines/artemis"
 	"repro/internal/baselines/cstuner"
 	"repro/internal/baselines/garvey"
 	"repro/internal/baselines/opentuner"
+	"repro/internal/campaign"
 	"repro/internal/core"
 	"repro/internal/cpu"
 	"repro/internal/dataset"
@@ -21,6 +23,7 @@ import (
 	"repro/internal/harness"
 	"repro/internal/journal"
 	"repro/internal/kernel"
+	"repro/internal/service"
 	"repro/internal/sim"
 	"repro/internal/space"
 	"repro/internal/stencil"
@@ -348,6 +351,41 @@ func TuneTemporal(w *TemporalWorkload, cfg Config) (*Report, error) {
 	cfg.EmitKernels = false
 	return core.Tune(w, nil, cfg, nil)
 }
+
+// CampaignSpec describes one tuning campaign submitted to the multi-tenant
+// campaign service: tenant, method, workload, budget and seed. Every field
+// is deterministic, which is what lets a crashed campaign re-run to a
+// byte-identical result.
+type CampaignSpec = campaign.Spec
+
+// CampaignState is a campaign's lifecycle position (pending, running,
+// paused, completed, failed, canceled).
+type CampaignState = campaign.State
+
+// CampaignStatus is a campaign's externally-visible snapshot: lifecycle
+// position, live progress, and the canonical result once completed.
+type CampaignStatus = campaign.Status
+
+// CampaignRegistry owns a directory of journaled campaigns: submission,
+// per-tenant budget ledgers, weighted-fair measurement scheduling, and
+// deterministic resume of every campaign interrupted by a crash.
+type CampaignRegistry = campaign.Registry
+
+// RegistryOptions configures OpenCampaignRegistry (measurement slots,
+// default tenant budget, clock injection for tests).
+type RegistryOptions = campaign.Options
+
+// OpenCampaignRegistry opens (or reopens) a campaign registry rooted at
+// dir: existing campaign directories are scanned, corrupt journals are
+// quarantined per-campaign, and interrupted campaigns resume through the
+// journal replay path.
+func OpenCampaignRegistry(dir string, opts RegistryOptions) (*CampaignRegistry, error) {
+	return campaign.Open(dir, opts)
+}
+
+// NewCampaignHandler returns the HTTP API over a registry — the same
+// handler cstunerd serves. See DESIGN.md §10 for the endpoint contract.
+func NewCampaignHandler(reg *CampaignRegistry) http.Handler { return service.New(reg) }
 
 // FormatGroups renders a grouping (from Report.Groups) with parameter names.
 func FormatGroups(groups [][]int) string { return grouping.Format(groups) }

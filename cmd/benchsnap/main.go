@@ -1,0 +1,167 @@
+// Command benchsnap runs the engine microbenchmarks and serializes them to
+// a JSON snapshot (BENCH_engine.json by default) so the repo carries a
+// perf trajectory: each committed snapshot records ns/op and allocs/op per
+// benchmark at a specific commit, and regressions show up as diffs.
+//
+// Usage:
+//
+//	go run ./cmd/benchsnap                  # snapshot ./internal/engine
+//	go run ./cmd/benchsnap -benchtime 2s    # steadier numbers
+//	go run ./cmd/benchsnap -out /tmp/b.json -pkg ./internal/sim
+//
+// Snapshot schema (stable; cmd/benchsnap is its only writer):
+//
+//	{
+//	  "package":  "repro/internal/engine",   // Go import path benchmarked
+//	  "commit":   "49244e9",                 // short HEAD at snapshot time
+//	  "go":       "go1.24.2",                // toolchain that produced it
+//	  "benchmarks": {
+//	    "BenchmarkMeasureCacheHit": {        // name minus -GOMAXPROCS suffix
+//	      "ns_per_op":     316.0,
+//	      "allocs_per_op": 4,
+//	      "bytes_per_op":  120,
+//	      "iterations":    773302
+//	    }
+//	  }
+//	}
+//
+// Numbers are machine-dependent; compare snapshots taken on the same class
+// of machine, and read allocs/op (which is stable) before ns/op.
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"os/exec"
+	"regexp"
+	"runtime"
+	"strconv"
+	"strings"
+)
+
+type benchResult struct {
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	Iterations  int64   `json:"iterations"`
+}
+
+type snapshot struct {
+	Package    string                 `json:"package"`
+	Commit     string                 `json:"commit"`
+	Go         string                 `json:"go"`
+	Benchmarks map[string]benchResult `json:"benchmarks"`
+}
+
+// benchLine matches `go test -bench -benchmem` result rows, e.g.
+// BenchmarkMeasureMiss-8   122196   2448 ns/op   868 B/op   12 allocs/op
+var benchLine = regexp.MustCompile(
+	`^(Benchmark\S+?)(?:-\d+)?\s+(\d+)\s+([0-9.]+) ns/op(?:\s+([0-9.]+) B/op\s+(\d+) allocs/op)?`)
+
+var pkgLine = regexp.MustCompile(`^pkg: (\S+)`)
+
+func main() {
+	pkg := flag.String("pkg", "./internal/engine", "package to benchmark")
+	bench := flag.String("bench", ".", "benchmark name pattern (go test -bench)")
+	benchtime := flag.String("benchtime", "", "per-benchmark time or iteration count (go test -benchtime)")
+	out := flag.String("out", "BENCH_engine.json", "snapshot output path")
+	flag.Parse()
+
+	snap, err := run(*pkg, *bench, *benchtime)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchsnap:", err)
+		os.Exit(1)
+	}
+	data, err := json.MarshalIndent(snap, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchsnap:", err)
+		os.Exit(1)
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "benchsnap:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("benchsnap: wrote %d benchmarks for %s @ %s to %s\n",
+		len(snap.Benchmarks), snap.Package, snap.Commit, *out)
+}
+
+func run(pkg, bench, benchtime string) (*snapshot, error) {
+	args := []string{"test", "-run", "^$", "-bench", bench, "-benchmem"}
+	if benchtime != "" {
+		args = append(args, "-benchtime", benchtime)
+	}
+	args = append(args, pkg)
+	cmd := exec.Command("go", args...)
+	cmd.Stderr = os.Stderr
+	outBytes, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("go %s: %w\n%s", strings.Join(args, " "), err, outBytes)
+	}
+
+	snap := &snapshot{
+		Commit:     headCommit(),
+		Go:         runtime.Version(),
+		Benchmarks: map[string]benchResult{},
+	}
+	sc := bufio.NewScanner(bytes.NewReader(outBytes))
+	for sc.Scan() {
+		line := sc.Text()
+		if m := pkgLine.FindStringSubmatch(line); m != nil {
+			snap.Package = m[1]
+			continue
+		}
+		m := benchLine.FindStringSubmatch(line)
+		if m == nil {
+			continue
+		}
+		r, perr := parseResult(m)
+		if perr != nil {
+			return nil, fmt.Errorf("parse %q: %w", line, perr)
+		}
+		snap.Benchmarks[m[1]] = r
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(snap.Benchmarks) == 0 {
+		return nil, fmt.Errorf("no benchmark results in output of go %s", strings.Join(args, " "))
+	}
+	return snap, nil
+}
+
+func parseResult(m []string) (benchResult, error) {
+	var r benchResult
+	var err error
+	if r.Iterations, err = strconv.ParseInt(m[2], 10, 64); err != nil {
+		return r, err
+	}
+	if r.NsPerOp, err = strconv.ParseFloat(m[3], 64); err != nil {
+		return r, err
+	}
+	if m[4] != "" {
+		b, err := strconv.ParseFloat(m[4], 64)
+		if err != nil {
+			return r, err
+		}
+		r.BytesPerOp = int64(b)
+		if r.AllocsPerOp, err = strconv.ParseInt(m[5], 10, 64); err != nil {
+			return r, err
+		}
+	}
+	return r, nil
+}
+
+// headCommit is best-effort provenance: a snapshot from a non-git checkout
+// still records its numbers, just with an unknown commit.
+func headCommit() string {
+	out, err := exec.Command("git", "rev-parse", "--short", "HEAD").Output()
+	if err != nil {
+		return "unknown"
+	}
+	return strings.TrimSpace(string(out))
+}

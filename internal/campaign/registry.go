@@ -1,0 +1,651 @@
+package campaign
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/engine"
+	"repro/internal/gpu"
+	"repro/internal/harness"
+	"repro/internal/journal"
+	"repro/internal/stencil"
+)
+
+// Registry errors surfaced to the serving layer.
+var (
+	// ErrUnknownCampaign is returned for an id the registry does not hold.
+	ErrUnknownCampaign = errors.New("campaign: unknown campaign")
+	// ErrClosed is returned by operations on a closed registry.
+	ErrClosed = errors.New("campaign: registry closed")
+)
+
+// Options configures a registry.
+type Options struct {
+	// Clock is the wall-clock source for lifecycle stamps (nil = real time).
+	Clock engine.Clock
+	// Slots bounds concurrent live measurements across all campaigns
+	// (the weighted-fair scheduler's capacity). 0 defaults to 2×GOMAXPROCS
+	// via NewScheduler's caller, capped sensibly by Open.
+	Slots int
+	// TenantBudgetS is the default per-tenant virtual budget (0 = tenants
+	// are unmetered unless SetTenantBudget is called).
+	TenantBudgetS float64
+	// Autostart, default true via Open, runs pending campaigns immediately.
+	// Tests set DisableAutostart to drive campaigns by hand.
+	DisableAutostart bool
+}
+
+// Registry owns every campaign under one root directory: one subdirectory
+// per campaign holding spec.json, state.json, journal.wal and (once
+// completed) result.json. Open scans the root, quarantines campaigns whose
+// journal cannot be trusted, reconstructs tenant ledgers, and resumes every
+// campaign that was pending or running when the previous process died —
+// through the deterministic journal replay path, so the registry as a whole
+// survives kill -9 with no lost work beyond unaccounted episodes.
+type Registry struct {
+	root    string
+	clock   engine.Clock
+	sched   *Scheduler
+	ledgers *Ledgers
+	opts    Options
+
+	baseCtx    context.Context
+	baseCancel context.CancelFunc
+	wg         sync.WaitGroup
+
+	mu        sync.Mutex
+	campaigns map[string]*Campaign
+	order     []string // submission order (directory scan order on restart)
+	seq       int
+	closed    bool
+
+	fixMu    sync.Mutex
+	fixtures map[fixtureKey]*fixtureEntry
+}
+
+type fixtureKey struct {
+	stencil, arch string
+	dsSize        int
+	seed          int64
+}
+
+type fixtureEntry struct {
+	once sync.Once
+	fx   *harness.Fixture
+	err  error
+}
+
+// Open creates (or reopens) the registry rooted at dir, scans existing
+// campaign directories, reconstructs ledgers, and — unless autostart is
+// disabled — resumes interrupted campaigns.
+func Open(dir string, opts Options) (*Registry, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("campaign: open registry: %w", err)
+	}
+	clock := opts.Clock
+	if clock == nil {
+		clock = time.Now // value use: the sanctioned wall-clock seam (engine.Clock)
+	}
+	slots := opts.Slots
+	if slots <= 0 {
+		slots = 8
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	r := &Registry{
+		root:       dir,
+		clock:      clock,
+		sched:      NewScheduler(slots),
+		ledgers:    NewLedgers(opts.TenantBudgetS),
+		opts:       opts,
+		baseCtx:    ctx,
+		baseCancel: cancel,
+		campaigns:  map[string]*Campaign{},
+		fixtures:   map[fixtureKey]*fixtureEntry{},
+	}
+	if err := r.scan(); err != nil {
+		cancel()
+		return nil, err
+	}
+	if !opts.DisableAutostart {
+		r.StartPending()
+	}
+	return r, nil
+}
+
+// Ledgers exposes the tenant budget ledgers (the service layer reads
+// snapshots and sets budgets through it).
+func (r *Registry) Ledgers() *Ledgers { return r.ledgers }
+
+// Scheduler exposes the fairness scheduler (diagnostics).
+func (r *Registry) Scheduler() *Scheduler { return r.sched }
+
+// scan loads every campaign directory under the root. A campaign whose
+// journal is corrupt or was written under a different fingerprint is
+// quarantined — journal renamed to journal.wal.bad, state Failed with the
+// reason recorded — and the scan continues; one bad campaign never aborts
+// registry startup.
+func (r *Registry) scan() error {
+	entries, err := os.ReadDir(r.root)
+	if err != nil {
+		return fmt.Errorf("campaign: scan: %w", err)
+	}
+	names := make([]string, 0, len(entries))
+	for _, e := range entries {
+		if e.IsDir() {
+			names = append(names, e.Name())
+		}
+	}
+	sort.Strings(names) // deterministic load order; ids sort as submission order
+	for _, name := range names {
+		c, err := r.load(name)
+		if err != nil {
+			return err
+		}
+		r.campaigns[c.ID] = c
+		r.order = append(r.order, c.ID)
+		if n := idSeq(c.ID); n > r.seq {
+			r.seq = n
+		}
+	}
+	return nil
+}
+
+// idSeq parses the numeric sequence out of a campaign id ("c000042" → 42);
+// 0 for foreign names.
+func idSeq(id string) int {
+	var n int
+	if _, err := fmt.Sscanf(id, "c%06d", &n); err != nil {
+		return 0
+	}
+	return n
+}
+
+// load reconstructs one campaign from its directory. Load failures are
+// quarantined into a Failed campaign rather than propagated: startup
+// hygiene demands the registry come up with every loadable campaign intact.
+func (r *Registry) load(id string) (*Campaign, error) {
+	c := &Campaign{ID: id, dir: filepath.Join(r.root, id)}
+
+	if err := readJSON(c.specPath(), &c.Spec); err != nil {
+		c.lc = NewLifecycle(r.clock)
+		r.failLoaded(c, fmt.Sprintf("unreadable spec.json: %v", err))
+		return c, nil
+	}
+
+	var ps persistedState
+	switch err := readJSON(c.statePath(), &ps); {
+	case err == nil:
+		lc, lerr := RestoreLifecycle(r.clock, ps.State, ps.Transitions)
+		if lerr != nil {
+			c.lc = NewLifecycle(r.clock)
+			r.failLoaded(c, fmt.Sprintf("unreadable state.json: %v", lerr))
+			return c, nil
+		}
+		c.lc = lc
+		c.settledS = ps.SettledS
+	case errors.Is(err, os.ErrNotExist):
+		// Crash between mkdir and the first state write: a fresh pending
+		// campaign.
+		c.lc = NewLifecycle(r.clock)
+	default:
+		c.lc = NewLifecycle(r.clock)
+		r.failLoaded(c, fmt.Sprintf("unreadable state.json: %v", err))
+		return c, nil
+	}
+
+	// Startup hygiene: validate the journal before trusting the campaign.
+	// ErrCorrupt (untrustable header) and ErrFingerprint (journal from a
+	// differently-configured campaign) quarantine this one campaign; torn
+	// tails are not errors — journal.Open truncates and recovers them.
+	if !c.lc.State().Terminal() {
+		if _, statErr := os.Stat(c.journalPath()); statErr == nil {
+			jr, jerr := journal.Open(c.journalPath(), c.Spec.Fingerprint)
+			switch {
+			case jerr == nil:
+				_ = jr.Close() // validation-only open; nothing was written
+			case errors.Is(jerr, journal.ErrCorrupt), errors.Is(jerr, journal.ErrFingerprint):
+				r.quarantineJournal(c, jerr)
+				return c, nil
+			default:
+				r.failLoaded(c, fmt.Sprintf("journal unreadable: %v", jerr))
+				return c, nil
+			}
+		}
+	}
+
+	// Ledger reconstruction: terminal campaigns re-apply their settled
+	// spend; live ones re-reserve their full budget (forced — they were
+	// admitted before the crash, and a restart never orphans admitted work).
+	switch c.lc.State() {
+	case StateCompleted:
+		if err := c.loadResult(); err != nil {
+			r.failLoaded(c, fmt.Sprintf("completed campaign without readable result.json: %v", err))
+			return c, nil
+		}
+		r.ledgers.RestoreSpent(c.Spec.Tenant, c.settledS)
+	case StateFailed, StateCanceled:
+		r.ledgers.RestoreSpent(c.Spec.Tenant, c.settledS)
+	default:
+		_ = r.ledgers.Reserve(c.Spec.Tenant, c.Spec.BudgetS, true) // forced: cannot fail
+	}
+	return c, nil
+}
+
+// failLoaded forces a loaded campaign into StateFailed with the reason and
+// persists the state (best-effort — the load itself must not fail).
+func (r *Registry) failLoaded(c *Campaign, reason string) {
+	if err := c.lc.To(StateFailed, reason); err != nil {
+		// Terminal already (e.g. a Failed campaign whose journal rotted
+		// later): the recorded state stands.
+		return
+	}
+	// Best-effort persistence: the disk is already misbehaving for this
+	// campaign, and the in-memory Failed state and reason still stand.
+	_ = c.persistState()
+}
+
+// quarantineJournal renames the untrusted journal to journal.wal.bad and
+// fails the campaign with the precise reason, preserving the bytes for
+// post-mortem. The registry keeps serving every other campaign.
+func (r *Registry) quarantineJournal(c *Campaign, cause error) {
+	bad := c.journalPath() + ".bad"
+	if err := os.Rename(c.journalPath(), bad); err != nil {
+		r.failLoaded(c, fmt.Sprintf("journal quarantine failed: %v (original error: %v)", err, cause))
+		return
+	}
+	syncDir(bad)
+	r.failLoaded(c, fmt.Sprintf("journal quarantined to %s: %v", filepath.Base(bad), cause))
+}
+
+// fixture returns the (cached) fixture for a spec. Fixtures are immutable
+// after construction and safe for concurrent use, so campaigns with the
+// same (stencil, arch, dataset, seed) share one.
+func (r *Registry) fixture(spec Spec) (*harness.Fixture, error) {
+	key := fixtureKey{stencil: spec.Stencil, arch: spec.Arch, dsSize: spec.DatasetSize, seed: spec.Seed}
+	r.fixMu.Lock()
+	e := r.fixtures[key]
+	if e == nil {
+		e = &fixtureEntry{}
+		r.fixtures[key] = e
+	}
+	r.fixMu.Unlock()
+	e.once.Do(func() {
+		st := stencil.ByName(spec.Stencil)
+		if st == nil {
+			e.err = fmt.Errorf("campaign: unknown stencil %q", spec.Stencil)
+			return
+		}
+		arch, err := gpu.ByName(spec.Arch)
+		if err != nil {
+			e.err = err
+			return
+		}
+		e.fx, e.err = harness.NewFixture(st, arch, spec.DatasetSize, spec.Seed)
+	})
+	return e.fx, e.err
+}
+
+// Submit validates and admits a new campaign: the tenant ledger reserves
+// its budget, the campaign directory and spec are persisted, and (unless
+// autostart is disabled) a runner starts it immediately.
+func (r *Registry) Submit(spec Spec) (*Campaign, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	spec.Fingerprint = "" // assigned by the first run, never by the caller
+	r.mu.Lock()
+	if r.closed {
+		r.mu.Unlock()
+		return nil, ErrClosed
+	}
+	if err := r.ledgers.Reserve(spec.Tenant, spec.BudgetS, false); err != nil {
+		r.mu.Unlock()
+		return nil, err
+	}
+	r.seq++
+	id := fmt.Sprintf("c%06d", r.seq)
+	c := &Campaign{ID: id, Spec: spec, dir: filepath.Join(r.root, id), lc: NewLifecycle(r.clock)}
+	r.campaigns[id] = c
+	r.order = append(r.order, id)
+	r.mu.Unlock()
+
+	if err := os.MkdirAll(c.dir, 0o755); err != nil {
+		r.evict(c)
+		return nil, fmt.Errorf("campaign: mkdir: %w", err)
+	}
+	syncDir(filepath.Join(c.dir, "spec.json")) // durably record the new directory in the root
+	if err := c.persistSpec(); err != nil {
+		r.evict(c)
+		return nil, err
+	}
+	if err := c.persistState(); err != nil {
+		r.evict(c)
+		return nil, err
+	}
+	if !r.opts.DisableAutostart {
+		r.start(c)
+	}
+	return c, nil
+}
+
+// evict rolls back a failed admission: the reservation is released and the
+// campaign disappears from the registry.
+func (r *Registry) evict(c *Campaign) {
+	r.ledgers.Settle(c.Spec.Tenant, c.Spec.BudgetS, 0)
+	r.mu.Lock()
+	delete(r.campaigns, c.ID)
+	for i, oid := range r.order {
+		if oid == c.ID {
+			r.order = append(r.order[:i], r.order[i+1:]...)
+			break
+		}
+	}
+	r.mu.Unlock()
+}
+
+// StartPending starts a runner for every pending campaign (used by Open's
+// autostart and by tests that submit with autostart disabled).
+func (r *Registry) StartPending() {
+	r.mu.Lock()
+	var pending []*Campaign
+	for _, id := range r.order {
+		c := r.campaigns[id]
+		if c.lc.State() == StatePending {
+			pending = append(pending, c)
+		}
+	}
+	r.mu.Unlock()
+	for _, c := range pending {
+		r.start(c)
+	}
+}
+
+// start transitions a pending or paused campaign to Running and spawns its
+// runner goroutine. Lost races (someone else started it) are no-ops.
+func (r *Registry) start(c *Campaign) {
+	r.mu.Lock()
+	if r.closed {
+		r.mu.Unlock()
+		return
+	}
+	ctx, cancel := context.WithCancel(r.baseCtx)
+	c.mu.Lock()
+	if c.cancel != nil { // already owned by a runner
+		c.mu.Unlock()
+		r.mu.Unlock()
+		cancel()
+		return
+	}
+	c.cancel = cancel
+	c.intent = ""
+	c.mu.Unlock()
+	if err := c.lc.To(StateRunning, ""); err != nil {
+		c.mu.Lock()
+		c.cancel, c.intent = nil, ""
+		c.mu.Unlock()
+		r.mu.Unlock()
+		cancel()
+		return
+	}
+	r.wg.Add(1)
+	r.mu.Unlock()
+	// Persistence trouble is not fatal to the run: the journal still makes
+	// the campaign resumable, at worst from Pending.
+	_ = c.persistState()
+	go func() {
+		defer r.wg.Done()
+		defer cancel()
+		r.run(ctx, c)
+	}()
+}
+
+// run executes one campaign to an outcome and settles the lifecycle,
+// persistence and ledger for it. It owns c.cancel until it returns.
+func (r *Registry) run(ctx context.Context, c *Campaign) {
+	finishInterrupt := func() {
+		c.mu.Lock()
+		intent := c.intent
+		c.intent = ""
+		c.cancel, c.intent = nil, ""
+		c.mu.Unlock()
+		switch intent {
+		case StateCanceled:
+			r.settleTerminal(c, StateCanceled, "canceled by request")
+		case StatePaused:
+			if err := c.lc.To(StatePaused, "paused by request"); err == nil {
+				_ = c.persistState() // best-effort; journal already holds the episodes
+			}
+		default:
+			// Registry shutdown: no transition — the persisted Running
+			// state is exactly what makes the next Open resume this
+			// campaign.
+		}
+	}
+
+	fx, err := r.fixture(c.Spec)
+	if err != nil {
+		c.mu.Lock()
+		c.cancel, c.intent = nil, ""
+		c.mu.Unlock()
+		r.settleTerminal(c, StateFailed, fmt.Sprintf("fixture: %v", err))
+		return
+	}
+
+	cfg := c.config(Gate(ctx, r.sched, c.Spec.Tenant, c.Spec.Weight))
+	fp := harness.CampaignFingerprint(fx, cfg)
+	if c.Spec.Fingerprint == "" {
+		c.Spec.Fingerprint = fp
+		_ = c.persistSpec() // journal identity is still enforced by the journal itself
+	}
+
+	cr, err := harness.PrepareCampaign(fx, cfg)
+	if err != nil {
+		c.mu.Lock()
+		c.cancel, c.intent = nil, ""
+		c.mu.Unlock()
+		if errors.Is(err, journal.ErrCorrupt) || errors.Is(err, journal.ErrFingerprint) {
+			r.quarantineJournal(c, err)
+			r.settleTerminalLedgerOnly(c)
+			return
+		}
+		r.settleTerminal(c, StateFailed, fmt.Sprintf("prepare: %v", err))
+		return
+	}
+	c.mu.Lock()
+	c.eng = cr.Engine()
+	c.mu.Unlock()
+
+	res, err := cr.Execute(ctx)
+	_ = cr.Close() // teardown after the last fsynced frame; nothing can act on the error
+	c.mu.Lock()
+	c.eng = nil
+	c.mu.Unlock()
+
+	if ctx.Err() != nil {
+		finishInterrupt()
+		return
+	}
+	c.mu.Lock()
+	c.cancel, c.intent = nil, ""
+	c.mu.Unlock()
+	if err != nil {
+		r.settleTerminal(c, StateFailed, fmt.Sprintf("execute: %v", err))
+		return
+	}
+	c.mu.Lock()
+	c.result, c.canonical = res, res.Canonical()
+	c.mu.Unlock()
+	if perr := c.persistResult(res); perr != nil {
+		r.settleTerminal(c, StateFailed, fmt.Sprintf("persist result: %v", perr))
+		return
+	}
+	r.settleTerminalWithSpend(c, StateCompleted, "", res.Stats.SpentS)
+}
+
+// settleTerminal moves c to a terminal state, settles the tenant ledger
+// (charging the engine's actual spend when a live engine or result is
+// available, else zero), and persists the state.
+func (r *Registry) settleTerminal(c *Campaign, s State, reason string) {
+	spent := 0.0
+	c.mu.Lock()
+	if c.result != nil {
+		spent = c.result.Stats.SpentS
+	} else if c.eng != nil {
+		spent = c.eng.SpentS()
+	}
+	c.mu.Unlock()
+	r.settleTerminalWithSpend(c, s, reason, spent)
+}
+
+// settleTerminalWithSpend is settleTerminal with an explicit spend.
+func (r *Registry) settleTerminalWithSpend(c *Campaign, s State, reason string, spentS float64) {
+	if err := c.lc.To(s, reason); err != nil {
+		return // already terminal; ledger settled by whoever got there first
+	}
+	settled := spentS
+	if settled > c.Spec.BudgetS {
+		settled = c.Spec.BudgetS
+	}
+	if settled < 0 {
+		settled = 0
+	}
+	c.mu.Lock()
+	c.settledS = settled
+	c.mu.Unlock()
+	r.ledgers.Settle(c.Spec.Tenant, c.Spec.BudgetS, settled)
+	_ = c.persistState() // in-memory state stands; a restart re-settles from the journal
+}
+
+// settleTerminalLedgerOnly releases the ledger reservation for a campaign
+// whose terminal transition already happened (quarantine path).
+func (r *Registry) settleTerminalLedgerOnly(c *Campaign) {
+	c.mu.Lock()
+	already := c.settledS
+	c.mu.Unlock()
+	if already == 0 {
+		r.ledgers.Settle(c.Spec.Tenant, c.Spec.BudgetS, 0)
+	}
+}
+
+// Get returns the campaign by id.
+func (r *Registry) Get(id string) (*Campaign, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c := r.campaigns[id]
+	if c == nil {
+		return nil, fmt.Errorf("%w: %q", ErrUnknownCampaign, id)
+	}
+	return c, nil
+}
+
+// List returns campaign statuses in submission order, optionally filtered
+// by tenant ("" = all).
+func (r *Registry) List(tenant string) []Status {
+	r.mu.Lock()
+	ids := append([]string(nil), r.order...)
+	camps := make([]*Campaign, 0, len(ids))
+	for _, id := range ids {
+		camps = append(camps, r.campaigns[id])
+	}
+	r.mu.Unlock()
+	out := make([]Status, 0, len(camps))
+	for _, c := range camps {
+		if tenant != "" && c.Spec.Tenant != tenant {
+			continue
+		}
+		out = append(out, c.Status())
+	}
+	return out
+}
+
+// Cancel requests cancellation of a campaign. A pending or running campaign
+// is interrupted and lands in StateCanceled; a paused one cancels directly.
+// Cancelling a terminal campaign — or re-cancelling one whose cancellation
+// is already in flight — returns ErrTransition.
+func (r *Registry) Cancel(id string) error { return r.interrupt(id, StateCanceled) }
+
+// Pause requests a pause: the run context is cancelled, the journal keeps
+// every paid-for episode, and ResumeCampaign later re-runs through replay.
+func (r *Registry) Pause(id string) error { return r.interrupt(id, StatePaused) }
+
+func (r *Registry) interrupt(id string, want State) error {
+	c, err := r.Get(id)
+	if err != nil {
+		return err
+	}
+	c.mu.Lock()
+	cancel, intent := c.cancel, c.intent
+	if cancel != nil && intent == "" {
+		c.intent = want
+	}
+	c.mu.Unlock()
+
+	if cancel != nil {
+		if intent != "" {
+			return fmt.Errorf("%w: %s already requested", ErrTransition, intent)
+		}
+		cancel()
+		return nil
+	}
+	// No runner owns the campaign: transition directly (paused → canceled
+	// is the meaningful case; everything illegal is refused here).
+	if want == StateCanceled {
+		state := c.lc.State()
+		if state == StatePaused || state == StatePending {
+			r.settleTerminal(c, StateCanceled, "canceled by request")
+			return nil
+		}
+	}
+	return fmt.Errorf("%w: %s → %s", ErrTransition, c.lc.State(), want)
+}
+
+// ResumeCampaign restarts a paused campaign through the journal replay
+// path: the runner re-executes the campaign from the start and the engine
+// serves every journaled episode back before any live measurement runs.
+// Resuming anything else returns ErrTransition.
+func (r *Registry) ResumeCampaign(id string) error {
+	c, err := r.Get(id)
+	if err != nil {
+		return err
+	}
+	r.mu.Lock()
+	closed := r.closed
+	r.mu.Unlock()
+	if closed {
+		return ErrClosed
+	}
+	c.mu.Lock()
+	owned := c.cancel != nil
+	c.mu.Unlock()
+	if owned || c.lc.State() != StatePaused {
+		return fmt.Errorf("%w: %s → %s", ErrTransition, c.lc.State(), StateRunning)
+	}
+	r.start(c)
+	return nil
+}
+
+// Close gracefully shuts the registry down: new submissions are refused,
+// every running campaign's context is cancelled (in-flight episodes abort
+// as ClassCanceled — never journaled, so at most unaccounted work is
+// re-measured on resume), runner goroutines are drained, and every journal
+// was already fsync'd by its last append. Campaign state files keep their
+// Running state on disk, which is precisely what makes the next Open resume
+// them.
+func (r *Registry) Close() error {
+	r.mu.Lock()
+	if r.closed {
+		r.mu.Unlock()
+		return nil
+	}
+	r.closed = true
+	r.mu.Unlock()
+	r.baseCancel()
+	r.wg.Wait()
+	return nil
+}

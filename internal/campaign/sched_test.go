@@ -1,0 +1,184 @@
+package campaign
+
+import (
+	"context"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestSchedulerVTimeAdvancesByInverseWeight(t *testing.T) {
+	s := NewScheduler(4)
+	ctx := context.Background()
+	for i := 0; i < 4; i++ {
+		if err := s.Acquire(ctx, "heavy", 4); err != nil {
+			t.Fatal(err)
+		}
+		s.Release()
+	}
+	if err := s.Acquire(ctx, "light", 1); err != nil {
+		t.Fatal(err)
+	}
+	s.Release()
+	vt := s.VTimes()
+	if vt["heavy"] != 1 { // 4 grants × 1/4
+		t.Fatalf("heavy vtime %g, want 1", vt["heavy"])
+	}
+	if vt["light"] != 2 { // joined at min vtime (1) + one grant at weight 1
+		t.Fatalf("light vtime %g, want 2", vt["light"])
+	}
+}
+
+func TestSchedulerWeightedShares(t *testing.T) {
+	s := NewScheduler(2)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+
+	const totalGrants = 600
+	var granted atomic.Int64
+	counts := map[string]*atomic.Int64{"heavy": {}, "light": {}}
+	weights := map[string]float64{"heavy": 3, "light": 1}
+
+	// Every worker performs one uncounted warmup acquire before the barrier,
+	// so both tenants are registered and backlogged from the first counted
+	// grant onward (the regime WFQ reasons about) — otherwise the whole
+	// counted phase can finish before the other tenant's goroutines are even
+	// scheduled.
+	start := make(chan struct{})
+	var armed, wg sync.WaitGroup
+	for tenant, w := range weights {
+		for i := 0; i < 4; i++ {
+			armed.Add(1)
+			wg.Add(1)
+			go func(tenant string, w float64) {
+				defer wg.Done()
+				if err := s.Acquire(ctx, tenant, w); err != nil {
+					t.Errorf("%s warmup: %v", tenant, err)
+					armed.Done()
+					return
+				}
+				s.Release()
+				armed.Done()
+				<-start
+				for {
+					if err := s.Acquire(ctx, tenant, w); err != nil {
+						return
+					}
+					// Hold the slot across a yield, like a real measurement
+					// holds it for its duration: the other workers pile into
+					// the waiting set and the grant order is decided by
+					// virtual time, not by goroutine scheduling. Without
+					// saturation WFQ has nothing to arbitrate.
+					runtime.Gosched()
+					n := granted.Add(1)
+					counts[tenant].Add(1)
+					s.Release()
+					if n >= totalGrants {
+						cancel()
+						return
+					}
+				}
+			}(tenant, w)
+		}
+	}
+	armed.Wait()
+	close(start)
+	wg.Wait()
+
+	heavy, light := counts["heavy"].Load(), counts["light"].Load()
+	if heavy+light < totalGrants {
+		t.Fatalf("only %d grants made, want >= %d", heavy+light, totalGrants)
+	}
+	// WFQ with both tenants continuously backlogged keeps vtimes aligned, so
+	// grants divide ~3:1. Allow generous slack for scheduling noise.
+	ratio := float64(heavy) / float64(light)
+	if ratio < 2.0 || ratio > 4.5 {
+		t.Fatalf("grant ratio heavy/light = %.2f (heavy=%d light=%d), want ≈3", ratio, heavy, light)
+	}
+}
+
+func TestSchedulerNoStarvation(t *testing.T) {
+	s := NewScheduler(1)
+	ctx := context.Background()
+	const perTenant = 40
+	tenants := []string{"a", "b", "c", "d"}
+	var wg sync.WaitGroup
+	done := make([]atomic.Int64, len(tenants))
+	for i, tenant := range tenants {
+		wg.Add(1)
+		go func(i int, tenant string) {
+			defer wg.Done()
+			for n := 0; n < perTenant; n++ {
+				if err := s.Acquire(ctx, tenant, 1); err != nil {
+					t.Errorf("tenant %s: %v", tenant, err)
+					return
+				}
+				done[i].Add(1)
+				s.Release()
+			}
+		}(i, tenant)
+	}
+	fin := make(chan struct{})
+	go func() { wg.Wait(); close(fin) }()
+	select {
+	case <-fin:
+	case <-time.After(30 * time.Second):
+		t.Fatal("scheduler starved a tenant (timeout)")
+	}
+	for i, tenant := range tenants {
+		if got := done[i].Load(); got != perTenant {
+			t.Errorf("tenant %s finished %d of %d", tenant, got, perTenant)
+		}
+	}
+}
+
+func TestSchedulerLatecomerJoinsAtFrontier(t *testing.T) {
+	s := NewScheduler(1)
+	ctx := context.Background()
+	for i := 0; i < 100; i++ {
+		if err := s.Acquire(ctx, "incumbent", 1); err != nil {
+			t.Fatal(err)
+		}
+		s.Release()
+	}
+	// A latecomer must not owe 100 grants of catch-up debt — nor get 100
+	// grants of monopoly. It starts at the incumbent's frontier.
+	if err := s.Acquire(ctx, "late", 1); err != nil {
+		t.Fatal(err)
+	}
+	s.Release()
+	vt := s.VTimes()
+	if vt["late"] != vt["incumbent"]+1 {
+		t.Fatalf("latecomer vtime %g, want incumbent %g + 1", vt["late"], vt["incumbent"])
+	}
+}
+
+func TestSchedulerAcquireHonorsCancel(t *testing.T) {
+	s := NewScheduler(1)
+	if err := s.Acquire(context.Background(), "holder", 1); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	errc := make(chan error, 1)
+	go func() { errc <- s.Acquire(ctx, "blocked", 1) }()
+	cancel()
+	select {
+	case err := <-errc:
+		if err != context.Canceled {
+			t.Fatalf("got %v, want context.Canceled", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("cancelled Acquire never returned")
+	}
+	s.Release()
+}
+
+func TestNilSchedulerIsUngated(t *testing.T) {
+	var s *Scheduler
+	if err := s.Acquire(context.Background(), "x", 1); err != nil {
+		t.Fatal(err)
+	}
+	s.Release()
+}

@@ -1,0 +1,148 @@
+package campaign
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"repro/internal/gpu"
+	"repro/internal/harness"
+	"repro/internal/stencil"
+)
+
+// Spec is the durable description of one campaign: everything needed to run
+// it — and, because every field is deterministic, to *re*-run it
+// byte-identically after a crash. It is persisted as spec.json in the
+// campaign's directory at submit time.
+type Spec struct {
+	// Tenant owns the campaign; budgets and fairness are tenant-scoped.
+	Tenant string `json:"tenant"`
+	// Weight is the tenant's fair-share weight for this campaign's
+	// measurements (<= 0 defaults to 1).
+	Weight float64 `json:"weight,omitempty"`
+	// Method is one of "cstuner", "opentuner", "garvey", "artemis".
+	Method string `json:"method"`
+	// Stencil and Arch name the workload (stencil.ByName / gpu.ByName).
+	Stencil string `json:"stencil"`
+	Arch    string `json:"arch"`
+	// DatasetSize is the offline dataset sample count (default 64).
+	DatasetSize int `json:"dataset_size,omitempty"`
+	// BudgetS is the campaign's virtual tuning budget in seconds; it is
+	// also the amount reserved against the tenant's ledger. Required.
+	BudgetS float64 `json:"budget_s"`
+	// Seed drives the tuner and the engine's deterministic jitter.
+	Seed int64 `json:"seed"`
+	// Workers, Repeats, Quarantine and CheckpointEvery forward to
+	// harness.CampaignConfig (all optional).
+	Workers         int `json:"workers,omitempty"`
+	Repeats         int `json:"repeats,omitempty"`
+	Quarantine      int `json:"quarantine,omitempty"`
+	CheckpointEvery int `json:"checkpoint_every,omitempty"`
+	// Fingerprint is the journal identity computed on the campaign's first
+	// run (harness.CampaignFingerprint) and persisted so a restart can
+	// validate the on-disk journal without rebuilding the fixture. Empty
+	// until the first run reaches its fixture.
+	Fingerprint string `json:"fingerprint,omitempty"`
+}
+
+// Validate checks the spec against the known methods, stencils and
+// architectures, and normalizes defaults in place.
+func (s *Spec) Validate() error {
+	if s.Tenant == "" {
+		return errors.New("campaign: spec needs a tenant")
+	}
+	if _, err := harness.CampaignTuner(s.Method); err != nil {
+		return err
+	}
+	if stencil.ByName(s.Stencil) == nil {
+		return fmt.Errorf("campaign: unknown stencil %q", s.Stencil)
+	}
+	if _, err := gpu.ByName(s.Arch); err != nil {
+		return err
+	}
+	if s.BudgetS <= 0 {
+		return errors.New("campaign: spec needs a positive budget_s (the tenant ledger reserves it)")
+	}
+	if s.DatasetSize <= 0 {
+		s.DatasetSize = 64
+	}
+	if s.Weight <= 0 {
+		s.Weight = 1
+	}
+	return nil
+}
+
+// persistedState is the state.json payload: the lifecycle position plus the
+// settled tenant spend, written atomically on every transition so a restart
+// reconstructs both the state machine and the ledger.
+type persistedState struct {
+	State State `json:"state"`
+	// SettledS is the virtual spend settled against the tenant ledger when
+	// the campaign reached a terminal state (capped at the reservation).
+	SettledS    float64      `json:"settled_s,omitempty"`
+	Transitions []Transition `json:"transitions"`
+}
+
+// writeFileAtomic writes data to path via the temp-file + rename + dir-sync
+// dance, so a kill -9 at any instant leaves either the old intact file or
+// the new intact file, never a torn hybrid.
+func writeFileAtomic(path string, data []byte) error {
+	tmp := path + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return fmt.Errorf("campaign: write %s: %w", filepath.Base(path), err)
+	}
+	if _, err := f.Write(data); err != nil {
+		_ = f.Close()
+		_ = os.Remove(tmp)
+		return fmt.Errorf("campaign: write %s: %w", filepath.Base(path), err)
+	}
+	if err := f.Sync(); err != nil {
+		_ = f.Close()
+		_ = os.Remove(tmp)
+		return fmt.Errorf("campaign: sync %s: %w", filepath.Base(path), err)
+	}
+	if err := f.Close(); err != nil {
+		_ = os.Remove(tmp)
+		return fmt.Errorf("campaign: close %s: %w", filepath.Base(path), err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		_ = os.Remove(tmp)
+		return fmt.Errorf("campaign: rename %s: %w", filepath.Base(path), err)
+	}
+	syncDir(path)
+	return nil
+}
+
+// syncDir fsyncs path's directory so a rename is durable; best-effort.
+func syncDir(path string) {
+	d, err := os.Open(filepath.Dir(path))
+	if err != nil {
+		return
+	}
+	_ = d.Sync()
+	_ = d.Close()
+}
+
+// writeJSONAtomic marshals v and writes it atomically to path.
+func writeJSONAtomic(path string, v any) error {
+	data, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		return fmt.Errorf("campaign: marshal %s: %w", filepath.Base(path), err)
+	}
+	return writeFileAtomic(path, append(data, '\n'))
+}
+
+// readJSON reads and unmarshals path into v.
+func readJSON(path string, v any) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	if err := json.Unmarshal(data, v); err != nil {
+		return fmt.Errorf("campaign: parse %s: %w", filepath.Base(path), err)
+	}
+	return nil
+}

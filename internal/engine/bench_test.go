@@ -1,0 +1,141 @@
+package engine
+
+import (
+	"path/filepath"
+	"testing"
+
+	"repro/internal/journal"
+	"repro/internal/space"
+)
+
+// The engine microbenchmarks below are the inputs to cmd/benchsnap, which
+// serializes their ns/op and allocs/op into BENCH_engine.json so perf
+// regressions in the measurement hot path show up as diffs in review.
+// Keep names stable: the snapshot schema is keyed by benchmark name.
+
+// benchVariant returns a distinct valid setting for iteration i. TBx stays
+// in [1, 998] (999 is fakeObj's invalid marker).
+func benchVariant(sp *space.Space, i int) space.Setting {
+	return variant(sp, 1+i%998, i/998)
+}
+
+// BenchmarkMeasureCacheHit is the memoized re-probe path: one map lookup
+// under the engine lock, no objective call, no accounting.
+func BenchmarkMeasureCacheHit(b *testing.B) {
+	f := newFake(b)
+	e := New(f)
+	s := variant(f.sp, 64, 4)
+	if _, err := e.Measure(s); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := e.Measure(s); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkMeasureMiss is the full first-probe path: objective dispatch,
+// trajectory append, budget accounting, cache insert. Every iteration uses
+// a distinct setting so nothing is served from cache.
+func BenchmarkMeasureMiss(b *testing.B) {
+	f := newFake(b)
+	e := New(f)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := e.Measure(benchVariant(f.sp, i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkMeasureBatch64 drives the worker-pool batch path with 64
+// distinct settings per iteration.
+func BenchmarkMeasureBatch64(b *testing.B) {
+	f := newFake(b)
+	e := New(f, WithWorkers(4))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		batch := make([]space.Setting, 64)
+		for j := range batch {
+			batch[j] = benchVariant(f.sp, i*64+j)
+		}
+		for _, r := range e.MeasureBatch(batch) {
+			if r.Err != nil {
+				b.Fatal(r.Err)
+			}
+		}
+	}
+}
+
+// BenchmarkJournalAppend is the durable episode path: each miss is framed,
+// CRC'd, appended and fsync'd to the write-ahead log before Measure
+// returns. This is the price of crash safety per evaluation.
+func BenchmarkJournalAppend(b *testing.B) {
+	f := newFake(b)
+	j, err := journal.Create(filepath.Join(b.TempDir(), "bench.wal"), "bench-fp")
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer j.Close()
+	e := New(f, WithJournal(j))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := e.Measure(benchVariant(f.sp, i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkJournalReplay256 is the resume path: open a WAL holding 256
+// episodes, build an engine on it, and re-measure every setting — all 256
+// must be served by replay, with zero objective calls.
+func BenchmarkJournalReplay256(b *testing.B) {
+	const episodes = 256
+	path := filepath.Join(b.TempDir(), "replay.wal")
+	{
+		f := newFake(b)
+		j, err := journal.Create(path, "bench-fp")
+		if err != nil {
+			b.Fatal(err)
+		}
+		e := New(f, WithJournal(j))
+		for i := 0; i < episodes; i++ {
+			if _, err := e.Measure(benchVariant(f.sp, i)); err != nil {
+				b.Fatal(err)
+			}
+		}
+		if err := j.Close(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	f := newFake(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		j, err := journal.Open(path, "bench-fp")
+		if err != nil {
+			b.Fatal(err)
+		}
+		e := New(f, WithJournal(j))
+		if e.ReplayPending() != episodes {
+			b.Fatalf("ReplayPending = %d, want %d", e.ReplayPending(), episodes)
+		}
+		for k := 0; k < episodes; k++ {
+			if _, err := e.Measure(benchVariant(f.sp, k)); err != nil {
+				b.Fatal(err)
+			}
+		}
+		if e.Replayed() != episodes {
+			b.Fatalf("Replayed = %d, want %d", e.Replayed(), episodes)
+		}
+		if err := j.Close(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

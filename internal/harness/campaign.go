@@ -2,6 +2,7 @@ package harness
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"strings"
 
@@ -13,6 +14,7 @@ import (
 	"repro/internal/engine"
 	"repro/internal/faults"
 	"repro/internal/journal"
+	"repro/internal/sim"
 	"repro/internal/space"
 )
 
@@ -53,6 +55,14 @@ type CampaignConfig struct {
 	// measurement — the seam crash-matrix tests use to install snapshot
 	// hooks. Production callers leave it nil.
 	OnJournal func(*journal.Journal)
+	// Wrap, when set, wraps the campaign's objective chain (simulator, then
+	// fault injector when configured) in one more layer before the engine is
+	// built on top. The campaign service uses it to insert its weighted-fair
+	// measurement gate; the wrapper must forward Unwrap so journal replay can
+	// still restore attempt counters down the chain. Wrap never enters the
+	// campaign fingerprint: admission control changes when measurements run,
+	// never what they return.
+	Wrap func(sim.Objective) sim.Objective
 }
 
 // CampaignResult is the canonical outcome of one campaign: everything the
@@ -123,13 +133,26 @@ func CampaignTuner(method string) (baselines.Tuner, error) {
 	return nil, fmt.Errorf("harness: unknown campaign method %q", method)
 }
 
-// RunCampaign runs (or, when cfg.JournalPath holds a previous run's
-// journal, resumes) one campaign to completion and returns its canonical
-// result. Resume is deterministic re-execution: the tuner re-runs from the
-// start, and the engine serves every episode the journal already paid for
-// instead of measuring it, so the final result is byte-identical to the
-// uninterrupted run's.
-func RunCampaign(ctx context.Context, fx *Fixture, cfg CampaignConfig) (*CampaignResult, error) {
+// CampaignRun is one prepared campaign execution: the tuner, the engine
+// (journal attached when the campaign is crash-safe) and the open journal
+// handle. Prepare/Execute/Close splits the previously monolithic
+// RunCampaign flow so a lifecycle owner (internal/campaign) can interpose
+// state transitions around each stage: Prepare while the campaign is still
+// Pending, Execute while it is Running, Close on any exit path.
+type CampaignRun struct {
+	fx  *Fixture
+	cfg CampaignConfig
+	t   baselines.Tuner
+	eng *engine.Engine
+	jr  *journal.Journal
+}
+
+// PrepareCampaign builds the tuner, opens (or resumes) the journal and
+// constructs the engine — everything RunCampaign does before the first
+// measurement. Errors here are pre-flight failures: an unknown method, a
+// corrupt journal (journal.ErrCorrupt) or a journal written by a
+// differently-configured campaign (journal.ErrFingerprint).
+func PrepareCampaign(fx *Fixture, cfg CampaignConfig) (*CampaignRun, error) {
 	t, err := CampaignTuner(cfg.Method)
 	if err != nil {
 		return nil, err
@@ -154,8 +177,6 @@ func RunCampaign(ctx context.Context, fx *Fixture, cfg CampaignConfig) (*Campaig
 		if err != nil {
 			return nil, err
 		}
-		//cstlint:allow errdrop(teardown close after the last fsynced frame; no caller can act on the error)
-		defer jr.Close()
 		if cfg.CheckpointEvery != 0 {
 			jr.SetCheckpointEvery(cfg.CheckpointEvery)
 		}
@@ -164,15 +185,31 @@ func RunCampaign(ctx context.Context, fx *Fixture, cfg CampaignConfig) (*Campaig
 		}
 		opts = append(opts, engine.WithJournal(jr))
 	}
-	var obj = fx.Sim
-	eng := func() *engine.Engine {
-		if cfg.Faults != nil {
-			return engine.New(faults.New(obj, *cfg.Faults), opts...)
-		}
-		return engine.New(obj, opts...)
-	}()
+	var obj sim.Objective = fx.Sim
+	if cfg.Faults != nil {
+		obj = faults.New(obj, *cfg.Faults)
+	}
+	if cfg.Wrap != nil {
+		obj = cfg.Wrap(obj)
+	}
+	return &CampaignRun{fx: fx, cfg: cfg, t: t, eng: engine.New(obj, opts...), jr: jr}, nil
+}
 
-	_, _, tuneErr := t.Tune(ctx, eng, fx.DS, cfg.Seed, eng.Exhausted)
+// Engine exposes the run's engine for progress polling (SpentS, Evals,
+// Best) while Execute is in flight.
+func (r *CampaignRun) Engine() *engine.Engine { return r.eng }
+
+// Journal returns the open journal, or nil for an unjournaled campaign.
+func (r *CampaignRun) Journal() *journal.Journal { return r.jr }
+
+// Execute runs the tuner to completion (or cancellation) and returns the
+// canonical result. A cancelled ctx surfaces as ctx.Err() alongside the
+// partial result — the caller decides whether that is a pause, a cancel or
+// a shutdown. A budget-stop with at least one measurement is the normal end
+// of a campaign; an error with nothing measured is a hard failure.
+func (r *CampaignRun) Execute(ctx context.Context) (*CampaignResult, error) {
+	eng := r.eng
+	_, _, tuneErr := r.t.Tune(ctx, eng, r.fx.DS, r.cfg.Seed, eng.Exhausted)
 	if jerr := eng.JournalErr(); jerr != nil {
 		return nil, jerr
 	}
@@ -184,10 +221,44 @@ func RunCampaign(ctx context.Context, fx *Fixture, cfg CampaignConfig) (*Campaig
 	}
 	if set, ms, ok := eng.Best(); ok {
 		res.Best, res.BestMS, res.Found = set, ms, true
+		if err := ctx.Err(); err != nil {
+			return res, err
+		}
 	} else if tuneErr != nil {
-		// Budget-stop with at least one measurement is the normal end of a
-		// campaign; an error with nothing measured is a hard failure.
-		return nil, fmt.Errorf("harness: campaign %s: %w", cfg.Method, tuneErr)
+		return nil, fmt.Errorf("harness: campaign %s: %w", r.cfg.Method, tuneErr)
 	}
 	return res, nil
+}
+
+// Close releases the journal handle. Every append already returned was
+// fsync'd before it returned, so Close has nothing to flush.
+func (r *CampaignRun) Close() error {
+	if r.jr == nil {
+		return nil
+	}
+	return r.jr.Close()
+}
+
+// RunCampaign runs (or, when cfg.JournalPath holds a previous run's
+// journal, resumes) one campaign to completion and returns its canonical
+// result. Resume is deterministic re-execution: the tuner re-runs from the
+// start, and the engine serves every episode the journal already paid for
+// instead of measuring it, so the final result is byte-identical to the
+// uninterrupted run's. It is Prepare + Execute + Close with the historical
+// contract: a run cancelled after measuring something still returns its
+// partial result with a nil error.
+func RunCampaign(ctx context.Context, fx *Fixture, cfg CampaignConfig) (*CampaignResult, error) {
+	r, err := PrepareCampaign(fx, cfg)
+	if err != nil {
+		return nil, err
+	}
+	//cstlint:allow errdrop(teardown close after the last fsynced frame; no caller can act on the error)
+	defer r.Close()
+	res, err := r.Execute(ctx)
+	if res != nil && err != nil && errors.Is(err, ctx.Err()) {
+		// Historical RunCampaign semantics: cancellation with a partial
+		// result is not an error — the caller asked for the cut.
+		return res, nil
+	}
+	return res, err
 }

@@ -1,0 +1,132 @@
+package service
+
+import (
+	"net/http"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/campaign"
+)
+
+// TestServiceStress hammers the API with hundreds of concurrent
+// submit/poll/cancel/pause/resume campaigns across four tenants and asserts
+// that every campaign reaches a clean terminal state, no campaign fails,
+// and the tenant ledgers never overspend. Run it with -race; the campaign
+// runner, scheduler, ledgers and HTTP layer all interleave here.
+func TestServiceStress(t *testing.T) {
+	total := 240
+	workers := 8
+	if testing.Short() {
+		total = 32
+		workers = 4
+	}
+	ts, reg := newTestServer(t, campaign.Options{Slots: 4, TenantBudgetS: 0})
+	tenants := []string{"alpha", "beta", "gamma", "delta"}
+
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := w; i < total; i += workers {
+				spec := testSpec(tenants[i%len(tenants)], int64(i%8))
+				spec.Weight = float64(1 + i%3)
+				sr := submit(t, ts, spec)
+
+				// Interleave polls with the occasional interrupt.
+				var st CampaignStatus
+				if code, raw := doJSON(t, http.MethodGet, ts.URL+"/v1/campaigns/"+sr.ID, nil, &st); code != http.StatusOK {
+					t.Errorf("poll %s: %d %s", sr.ID, code, raw)
+					continue
+				}
+				switch {
+				case i%5 == 0:
+					// Cancel races completion: 200 and 409 are both legal,
+					// anything else is a bug.
+					code, raw := doJSON(t, http.MethodPost, ts.URL+"/v1/campaigns/"+sr.ID+"/cancel", nil, nil)
+					if code != http.StatusOK && code != http.StatusConflict {
+						t.Errorf("cancel %s: %d %s", sr.ID, code, raw)
+					}
+				case i%7 == 0:
+					code, raw := doJSON(t, http.MethodPost, ts.URL+"/v1/campaigns/"+sr.ID+"/pause", nil, nil)
+					if code != http.StatusOK && code != http.StatusConflict {
+						t.Errorf("pause %s: %d %s", sr.ID, code, raw)
+					}
+					if code == http.StatusOK {
+						// The pause request may still lose the race to
+						// completion, so resume tolerates 409.
+						deadline := time.Now().Add(60 * time.Second)
+						for time.Now().Before(deadline) {
+							doJSON(t, http.MethodGet, ts.URL+"/v1/campaigns/"+sr.ID, nil, &st)
+							if st.State != campaign.StateRunning && st.State != campaign.StatePending {
+								break
+							}
+							time.Sleep(2 * time.Millisecond)
+						}
+						if st.State == campaign.StatePaused {
+							if code, raw := doJSON(t, http.MethodPost, ts.URL+"/v1/campaigns/"+sr.ID+"/resume", nil, nil); code != http.StatusOK {
+								t.Errorf("resume %s: %d %s", sr.ID, code, raw)
+							}
+						}
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if t.Failed() {
+		t.FailNow()
+	}
+
+	// Drain: every campaign must reach a terminal state on its own.
+	deadline := time.Now().Add(300 * time.Second)
+	for {
+		var lr ListResponse
+		code, _ := doJSON(t, http.MethodGet, ts.URL+"/v1/campaigns", nil, &lr)
+		if code != http.StatusOK {
+			t.Fatalf("list: %d", code)
+		}
+		if len(lr.Campaigns) != total {
+			t.Fatalf("list has %d campaigns, want %d", len(lr.Campaigns), total)
+		}
+		live := 0
+		for _, st := range lr.Campaigns {
+			if !st.State.Terminal() {
+				live++
+			}
+		}
+		if live == 0 {
+			for _, st := range lr.Campaigns {
+				if st.State == campaign.StateFailed {
+					t.Errorf("campaign %s failed: %s", st.ID, st.Reason)
+				}
+				if st.State == campaign.StateCompleted && st.Canonical == "" {
+					t.Errorf("campaign %s completed without a canonical result", st.ID)
+				}
+			}
+			break
+		}
+		if !time.Now().Before(deadline) {
+			t.Fatalf("%d campaigns still live at deadline", live)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	// The ledger invariant must hold after everything settles, and the
+	// scheduler must have seen every tenant.
+	for _, snap := range reg.Ledgers().Snapshots() {
+		if snap.BudgetS > 0 && snap.SpentS+snap.ReservedS > snap.BudgetS+1e-9 {
+			t.Errorf("tenant %s overspent: %+v", snap.Tenant, snap)
+		}
+		if snap.ReservedS != 0 {
+			t.Errorf("tenant %s has dangling reservation %g after all campaigns settled", snap.Tenant, snap.ReservedS)
+		}
+		if snap.SpentS <= 0 {
+			t.Errorf("tenant %s recorded no spend", snap.Tenant)
+		}
+	}
+	if vt := reg.Scheduler().VTimes(); len(vt) != len(tenants) {
+		t.Errorf("scheduler saw %d tenants, want %d: %v", len(vt), len(tenants), vt)
+	}
+}

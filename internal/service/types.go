@@ -1,0 +1,47 @@
+// Package service is the stdlib-net/http serving layer over the campaign
+// registry: submit, poll, cancel, pause, resume and list tuning campaigns
+// for many tenants against one shared measurement pool. The wire types here
+// are thin aliases of the registry's own JSON-tagged structs so the HTTP
+// contract and the on-disk contract cannot drift apart.
+package service
+
+import "repro/internal/campaign"
+
+// SubmitRequest is the POST /v1/campaigns body: a campaign spec. The
+// fingerprint field is server-assigned and ignored on input.
+type SubmitRequest = campaign.Spec
+
+// CampaignStatus is the per-campaign wire representation, returned by
+// submit, poll and list.
+type CampaignStatus = campaign.Status
+
+// SubmitResponse acknowledges an admitted campaign.
+type SubmitResponse struct {
+	ID     string         `json:"id"`
+	Status CampaignStatus `json:"status"`
+}
+
+// ListResponse is the GET /v1/campaigns body.
+type ListResponse struct {
+	Campaigns []CampaignStatus `json:"campaigns"`
+}
+
+// TenantLedger is one tenant's budget position on the wire.
+type TenantLedger = campaign.LedgerSnapshot
+
+// TenantsResponse is the GET /v1/tenants body, sorted by tenant name.
+type TenantsResponse struct {
+	Tenants []TenantLedger `json:"tenants"`
+}
+
+// ErrorResponse is the uniform error body for every non-2xx status.
+type ErrorResponse struct {
+	Error string `json:"error"`
+}
+
+// OKResponse acknowledges a state-changing request (cancel/pause/resume)
+// with the campaign's post-request status.
+type OKResponse struct {
+	ID     string         `json:"id"`
+	Status CampaignStatus `json:"status"`
+}
