@@ -1,0 +1,128 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+)
+
+// compareSnapshots gates a new snapshot against a committed baseline. A
+// benchmark regresses when its new ns/op or allocs/op exceeds the old value
+// by more than the corresponding threshold (a fraction: 0.20 means +20%).
+// A benchmark present in the baseline but missing from the new snapshot is
+// a failure too — silently dropping a benchmark is how a regression hides.
+// Benchmarks only present in the new snapshot are reported, not gated.
+//
+// Returns a human-readable line per benchmark and the subset that failed.
+func compareSnapshots(oldSnap, newSnap *snapshot, nsThresh, allocThresh float64) (lines, failures []string) {
+	names := make([]string, 0, len(oldSnap.Benchmarks))
+	for name := range oldSnap.Benchmarks {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+
+	for _, name := range names {
+		ob := oldSnap.Benchmarks[name]
+		nb, ok := newSnap.Benchmarks[name]
+		if !ok {
+			l := fmt.Sprintf("FAIL %s: missing from new snapshot", name)
+			lines = append(lines, l)
+			failures = append(failures, l)
+			continue
+		}
+		nsDelta := relDelta(ob.NsPerOp, nb.NsPerOp)
+		var bad []string
+		if nb.NsPerOp > ob.NsPerOp*(1+nsThresh) {
+			bad = append(bad, fmt.Sprintf("ns/op %.1f -> %.1f (%+.1f%%, limit %+.0f%%)",
+				ob.NsPerOp, nb.NsPerOp, 100*nsDelta, 100*nsThresh))
+		}
+		if float64(nb.AllocsPerOp) > float64(ob.AllocsPerOp)*(1+allocThresh) {
+			bad = append(bad, fmt.Sprintf("allocs/op %d -> %d (limit %+.0f%%)",
+				ob.AllocsPerOp, nb.AllocsPerOp, 100*allocThresh))
+		}
+		if len(bad) > 0 {
+			l := fmt.Sprintf("FAIL %s: %s", name, join(bad))
+			lines = append(lines, l)
+			failures = append(failures, l)
+			continue
+		}
+		lines = append(lines, fmt.Sprintf("ok   %s: ns/op %.1f -> %.1f (%+.1f%%), allocs/op %d -> %d",
+			name, ob.NsPerOp, nb.NsPerOp, 100*nsDelta, ob.AllocsPerOp, nb.AllocsPerOp))
+	}
+
+	extra := make([]string, 0)
+	for name := range newSnap.Benchmarks {
+		if _, ok := oldSnap.Benchmarks[name]; !ok {
+			extra = append(extra, name)
+		}
+	}
+	sort.Strings(extra)
+	for _, name := range extra {
+		nb := newSnap.Benchmarks[name]
+		lines = append(lines, fmt.Sprintf("new  %s: ns/op %.1f, allocs/op %d (no baseline, not gated)",
+			name, nb.NsPerOp, nb.AllocsPerOp))
+	}
+	return lines, failures
+}
+
+func relDelta(oldV, newV float64) float64 {
+	if oldV == 0 {
+		if newV == 0 {
+			return 0
+		}
+		return 1
+	}
+	return (newV - oldV) / oldV
+}
+
+func join(parts []string) string {
+	out := ""
+	for i, p := range parts {
+		if i > 0 {
+			out += "; "
+		}
+		out += p
+	}
+	return out
+}
+
+func loadSnapshot(path string) (*snapshot, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var s snapshot
+	if err := json.Unmarshal(data, &s); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if len(s.Benchmarks) == 0 {
+		return nil, fmt.Errorf("%s: snapshot holds no benchmarks", path)
+	}
+	return &s, nil
+}
+
+// runCompare implements `benchsnap -compare old.json new.json`: print one
+// line per benchmark and return an error when any regressed past the
+// thresholds.
+func runCompare(oldPath, newPath string, nsThresh, allocThresh float64) error {
+	oldSnap, err := loadSnapshot(oldPath)
+	if err != nil {
+		return err
+	}
+	newSnap, err := loadSnapshot(newPath)
+	if err != nil {
+		return err
+	}
+	lines, failures := compareSnapshots(oldSnap, newSnap, nsThresh, allocThresh)
+	for _, l := range lines {
+		fmt.Println(l)
+	}
+	if len(failures) > 0 {
+		return fmt.Errorf("%d of %d benchmarks regressed past thresholds (ns %+.0f%%, allocs %+.0f%%)",
+			len(failures), len(oldSnap.Benchmarks), 100*nsThresh, 100*allocThresh)
+	}
+	fmt.Printf("benchsnap: %d benchmarks within thresholds (ns %+.0f%%, allocs %+.0f%%) vs %s @ %s\n",
+		len(oldSnap.Benchmarks), 100*nsThresh, 100*allocThresh, oldPath, oldSnap.Commit)
+	return nil
+}

@@ -1,0 +1,108 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func snapOf(benches map[string]benchResult) *snapshot {
+	return &snapshot{Package: "repro/internal/engine", Commit: "test", Go: "gotest", Benchmarks: benches}
+}
+
+func TestCompareWithinThresholdsPasses(t *testing.T) {
+	oldSnap := snapOf(map[string]benchResult{
+		"BenchmarkHit":  {NsPerOp: 100, AllocsPerOp: 0},
+		"BenchmarkMiss": {NsPerOp: 2000, AllocsPerOp: 10},
+	})
+	newSnap := snapOf(map[string]benchResult{
+		"BenchmarkHit":  {NsPerOp: 118, AllocsPerOp: 0}, // +18% < +20%
+		"BenchmarkMiss": {NsPerOp: 1500, AllocsPerOp: 12},
+	})
+	lines, failures := compareSnapshots(oldSnap, newSnap, 0.20, 0.20)
+	if len(failures) != 0 {
+		t.Fatalf("unexpected failures: %v", failures)
+	}
+	if len(lines) != 2 {
+		t.Fatalf("got %d lines, want 2: %v", len(lines), lines)
+	}
+}
+
+func TestCompareFlagsNsRegression(t *testing.T) {
+	oldSnap := snapOf(map[string]benchResult{"BenchmarkHit": {NsPerOp: 100, AllocsPerOp: 0}})
+	newSnap := snapOf(map[string]benchResult{"BenchmarkHit": {NsPerOp: 125, AllocsPerOp: 0}})
+	_, failures := compareSnapshots(oldSnap, newSnap, 0.20, 0.20)
+	if len(failures) != 1 || !strings.Contains(failures[0], "ns/op") {
+		t.Fatalf("ns/op regression not flagged: %v", failures)
+	}
+	// A looser threshold accepts the same delta.
+	if _, f := compareSnapshots(oldSnap, newSnap, 0.30, 0.20); len(f) != 0 {
+		t.Fatalf("loose threshold still failed: %v", f)
+	}
+}
+
+func TestCompareFlagsAllocRegression(t *testing.T) {
+	oldSnap := snapOf(map[string]benchResult{"BenchmarkHit": {NsPerOp: 100, AllocsPerOp: 0}})
+	newSnap := snapOf(map[string]benchResult{"BenchmarkHit": {NsPerOp: 100, AllocsPerOp: 1}})
+	_, failures := compareSnapshots(oldSnap, newSnap, 0.20, 0.20)
+	if len(failures) != 1 || !strings.Contains(failures[0], "allocs/op") {
+		t.Fatalf("zero-alloc path growing an alloc must fail: %v", failures)
+	}
+}
+
+func TestCompareFlagsMissingBenchmark(t *testing.T) {
+	oldSnap := snapOf(map[string]benchResult{
+		"BenchmarkHit":  {NsPerOp: 100},
+		"BenchmarkGone": {NsPerOp: 50},
+	})
+	newSnap := snapOf(map[string]benchResult{"BenchmarkHit": {NsPerOp: 100}})
+	_, failures := compareSnapshots(oldSnap, newSnap, 0.20, 0.20)
+	if len(failures) != 1 || !strings.Contains(failures[0], "BenchmarkGone") {
+		t.Fatalf("dropped benchmark not flagged: %v", failures)
+	}
+}
+
+func TestCompareReportsNewBenchmarksWithoutGating(t *testing.T) {
+	oldSnap := snapOf(map[string]benchResult{"BenchmarkHit": {NsPerOp: 100}})
+	newSnap := snapOf(map[string]benchResult{
+		"BenchmarkHit":   {NsPerOp: 100},
+		"BenchmarkFresh": {NsPerOp: 9999, AllocsPerOp: 50},
+	})
+	lines, failures := compareSnapshots(oldSnap, newSnap, 0.20, 0.20)
+	if len(failures) != 0 {
+		t.Fatalf("new benchmark must not gate: %v", failures)
+	}
+	found := false
+	for _, l := range lines {
+		if strings.Contains(l, "BenchmarkFresh") && strings.Contains(l, "not gated") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("new benchmark not reported: %v", lines)
+	}
+}
+
+func TestRunCompareEndToEnd(t *testing.T) {
+	dir := t.TempDir()
+	oldPath := filepath.Join(dir, "old.json")
+	newPath := filepath.Join(dir, "new.json")
+	writeJSON := func(path, body string) {
+		if err := os.WriteFile(path, []byte(body), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	writeJSON(oldPath, `{"package":"p","commit":"a","go":"g","benchmarks":{"BenchmarkX":{"ns_per_op":100,"allocs_per_op":2,"bytes_per_op":64,"iterations":1000}}}`)
+	writeJSON(newPath, `{"package":"p","commit":"b","go":"g","benchmarks":{"BenchmarkX":{"ns_per_op":90,"allocs_per_op":2,"bytes_per_op":64,"iterations":1000}}}`)
+	if err := runCompare(oldPath, newPath, 0.20, 0.20); err != nil {
+		t.Fatalf("improvement flagged as regression: %v", err)
+	}
+	writeJSON(newPath, `{"package":"p","commit":"b","go":"g","benchmarks":{"BenchmarkX":{"ns_per_op":200,"allocs_per_op":2,"bytes_per_op":64,"iterations":1000}}}`)
+	if err := runCompare(oldPath, newPath, 0.20, 0.20); err == nil {
+		t.Fatal("2x ns/op regression passed the gate")
+	}
+	if err := runCompare(oldPath, filepath.Join(dir, "absent.json"), 0.20, 0.20); err == nil {
+		t.Fatal("missing snapshot file did not error")
+	}
+}

@@ -9,6 +9,13 @@
 //	go run ./cmd/benchsnap -benchtime 2s    # steadier numbers
 //	go run ./cmd/benchsnap -out /tmp/b.json -pkg ./internal/sim
 //
+// Compare mode gates a fresh snapshot against a committed baseline instead
+// of writing one; it exits non-zero when any benchmark regresses past the
+// thresholds (defaults: +20% ns/op, +20% allocs/op) or disappears:
+//
+//	go run ./cmd/benchsnap -compare BENCH_engine.json /tmp/new.json
+//	go run ./cmd/benchsnap -compare -ns-threshold 3.0 old.json new.json
+//
 // Snapshot schema (stable; cmd/benchsnap is its only writer):
 //
 //	{
@@ -69,7 +76,22 @@ func main() {
 	bench := flag.String("bench", ".", "benchmark name pattern (go test -bench)")
 	benchtime := flag.String("benchtime", "", "per-benchmark time or iteration count (go test -benchtime)")
 	out := flag.String("out", "BENCH_engine.json", "snapshot output path")
+	compare := flag.Bool("compare", false, "compare two snapshots (old.json new.json) instead of benchmarking")
+	nsThresh := flag.Float64("ns-threshold", 0.20, "max allowed relative ns/op regression in compare mode (0.20 = +20%)")
+	allocThresh := flag.Float64("alloc-threshold", 0.20, "max allowed relative allocs/op regression in compare mode")
 	flag.Parse()
+
+	if *compare {
+		if flag.NArg() != 2 {
+			fmt.Fprintln(os.Stderr, "benchsnap: -compare needs exactly two arguments: old.json new.json")
+			os.Exit(2)
+		}
+		if err := runCompare(flag.Arg(0), flag.Arg(1), *nsThresh, *allocThresh); err != nil {
+			fmt.Fprintln(os.Stderr, "benchsnap:", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	snap, err := run(*pkg, *bench, *benchtime)
 	if err != nil {

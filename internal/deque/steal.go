@@ -1,0 +1,56 @@
+package deque
+
+import "sync"
+
+// Stealable wraps a Deque for work-stealing schedulers: one owner works its
+// queue from the front (preserving the FIFO order its chunk was seeded in,
+// which keeps neighbouring items together), while idle thieves take single
+// items from the back — the end farthest from the owner, so a steal touches
+// the coldest work and contends with the owner only on the final items.
+//
+// All operations are mutex-guarded rather than lock-free Chase-Lev: the
+// engine's work items are whole measurement episodes (microseconds to
+// seconds), so queue-op cost is noise, and a mutex keeps the structure
+// trivially correct under the race detector.
+type Stealable[T any] struct {
+	mu sync.Mutex
+	d  Deque[T]
+}
+
+// NewStealable returns an empty stealable queue with capacity for at least
+// n elements.
+func NewStealable[T any](n int) *Stealable[T] {
+	return &Stealable[T]{d: *New[T](n)}
+}
+
+// Push appends v at the back (owner side of seeding; call before workers
+// start or from the owner).
+func (q *Stealable[T]) Push(v T) {
+	q.mu.Lock()
+	q.d.PushBack(v)
+	q.mu.Unlock()
+}
+
+// PopFront removes and returns the front element — the owner's end.
+func (q *Stealable[T]) PopFront() (T, bool) {
+	q.mu.Lock()
+	v, ok := q.d.PopFront()
+	q.mu.Unlock()
+	return v, ok
+}
+
+// StealBack removes and returns the back element — the thieves' end.
+func (q *Stealable[T]) StealBack() (T, bool) {
+	q.mu.Lock()
+	v, ok := q.d.PopBack()
+	q.mu.Unlock()
+	return v, ok
+}
+
+// Len reports the number of queued elements.
+func (q *Stealable[T]) Len() int {
+	q.mu.Lock()
+	n := q.d.Len()
+	q.mu.Unlock()
+	return n
+}

@@ -1,0 +1,75 @@
+package deque
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestStealableEnds(t *testing.T) {
+	q := NewStealable[int](4)
+	for i := 0; i < 6; i++ {
+		q.Push(i)
+	}
+	if n := q.Len(); n != 6 {
+		t.Fatalf("Len = %d, want 6", n)
+	}
+	// Owner drains FIFO from the front.
+	if v, ok := q.PopFront(); !ok || v != 0 {
+		t.Fatalf("PopFront = %d/%v, want 0", v, ok)
+	}
+	// Thieves take the most recently queued work from the back.
+	if v, ok := q.StealBack(); !ok || v != 5 {
+		t.Fatalf("StealBack = %d/%v, want 5", v, ok)
+	}
+	for want := 1; want <= 4; want++ {
+		if v, ok := q.PopFront(); !ok || v != want {
+			t.Fatalf("PopFront = %d/%v, want %d", v, ok, want)
+		}
+	}
+	if _, ok := q.PopFront(); ok {
+		t.Fatal("PopFront on empty queue reported ok")
+	}
+	if _, ok := q.StealBack(); ok {
+		t.Fatal("StealBack on empty queue reported ok")
+	}
+}
+
+// TestStealableConcurrentDrain races one front-popping owner against several
+// back-stealing thieves: every queued item must be delivered exactly once.
+// Run under -race this also pins the locking discipline.
+func TestStealableConcurrentDrain(t *testing.T) {
+	const n = 10000
+	q := NewStealable[int](n)
+	for i := 0; i < n; i++ {
+		q.Push(i)
+	}
+	var mu sync.Mutex
+	got := make([]int, n)
+	var wg sync.WaitGroup
+	drain := func(pop func() (int, bool)) {
+		defer wg.Done()
+		for {
+			v, ok := pop()
+			if !ok {
+				return
+			}
+			mu.Lock()
+			got[v]++
+			mu.Unlock()
+		}
+	}
+	wg.Add(4)
+	go drain(q.PopFront)
+	for g := 0; g < 3; g++ {
+		go drain(q.StealBack)
+	}
+	wg.Wait()
+	for i, c := range got {
+		if c != 1 {
+			t.Fatalf("item %d delivered %d times", i, c)
+		}
+	}
+	if q.Len() != 0 {
+		t.Fatalf("Len = %d after drain", q.Len())
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"sync"
 
+	"repro/internal/deque"
 	"repro/internal/sim"
 	"repro/internal/space"
 )
@@ -65,17 +66,14 @@ func (e *Engine) MeasureBatchCtx(ctx context.Context, settings []space.Setting) 
 			continue
 		}
 		seen[keys[i]] = struct{}{}
+		// Lock-free cache probe first: the common duplicate-heavy batch never
+		// touches a mutex for its already-measured keys. Hits are not counted
+		// here — phase 2 serves (and counts) them in input order.
+		if !e.noCache && e.cache.containsMeasure(keys[i]) {
+			continue
+		}
 		if e.quarantined(keys[i], false) {
 			continue // refusal is served (and counted) in phase 2
-		}
-		if !e.noCache {
-			e.mu.Lock()
-			_, hitT := e.times[keys[i]]
-			_, hitE := e.errs[keys[i]]
-			e.mu.Unlock()
-			if hitT || hitE {
-				continue
-			}
 		}
 		need = append(need, i)
 	}
@@ -139,33 +137,22 @@ func (e *Engine) Run(s space.Setting) (*sim.Result, error) {
 	}
 	key := s.Key()
 	if !e.noCache {
-		e.mu.Lock()
-		if res, ok := e.results[key]; ok {
-			e.stats.CacheHits++
-			e.mu.Unlock()
-			return res, nil
+		if res, err, ok := e.cache.runLookup(key); ok {
+			e.cacheHits.Add(1)
+			return res, err
 		}
-		if err, ok := e.errs[key]; ok {
-			e.stats.CacheHits++
-			e.mu.Unlock()
-			return nil, err
-		}
-		e.mu.Unlock()
 	}
 	res, err := r.Run(s)
 	if e.noCache {
 		return res, err
 	}
-	e.mu.Lock()
-	defer e.mu.Unlock()
 	if err != nil {
 		if !errors.Is(err, ErrBudget) {
-			e.errs[key] = err
+			e.cache.storeErr(key, err)
 		}
 		return nil, err
 	}
-	e.results[key] = res
-	e.times[key] = res.TimeMS
+	e.cache.storeRun(key, res)
 	return res, nil
 }
 
@@ -180,7 +167,18 @@ func (e *Engine) RunBatch(settings []space.Setting) ([]*sim.Result, []error) {
 	return res, errs
 }
 
-// forEach runs f(0..n-1) on the bounded worker pool.
+// forEach runs f(0..n-1) on the bounded worker pool with work stealing:
+// every worker is seeded with a contiguous chunk of indices in its own
+// deque, drains it front-to-back, and when empty steals single items from
+// the back of its neighbours' queues. Compared to the former shared-channel
+// dispatch this removes the one-item-at-a-time rendezvous on the hot path
+// (a worker's own pops contend only with occasional thieves) while still
+// balancing skewed batches — a worker stuck on a slow measurement episode
+// has its remaining chunk drained by the others.
+//
+// Scheduling freedom is safe here by construction: f must touch no
+// accounting state (episodes are pure functions of seed, key and attempt),
+// so which worker runs which index can never affect results.
 func (e *Engine) forEach(n int, f func(i int)) {
 	if n == 0 {
 		return
@@ -195,21 +193,35 @@ func (e *Engine) forEach(n int, f func(i int)) {
 		}
 		return
 	}
-	idx := make(chan int)
-	done := make(chan struct{})
+	queues := make([]*deque.Stealable[int], workers)
+	for w := range queues {
+		lo, hi := w*n/workers, (w+1)*n/workers
+		q := deque.NewStealable[int](hi - lo)
+		for i := lo; i < hi; i++ {
+			q.Push(i)
+		}
+		queues[w] = q
+	}
+	var wg sync.WaitGroup
+	wg.Add(workers)
 	for w := 0; w < workers; w++ {
-		go func() {
-			defer func() { done <- struct{}{} }()
-			for i := range idx {
+		go func(self int) {
+			defer wg.Done()
+			for {
+				i, ok := queues[self].PopFront()
+				if !ok {
+					for off := 1; off < len(queues) && !ok; off++ {
+						i, ok = queues[(self+off)%len(queues)].StealBack()
+					}
+					if !ok {
+						// No work is ever queued after seeding, so one empty
+						// sweep over every queue means the pool is drained.
+						return
+					}
+				}
 				f(i)
 			}
-		}()
+		}(w)
 	}
-	for i := 0; i < n; i++ {
-		idx <- i
-	}
-	close(idx)
-	for w := 0; w < workers; w++ {
-		<-done
-	}
+	wg.Wait()
 }

@@ -37,6 +37,28 @@ func BenchmarkMeasureCacheHit(b *testing.B) {
 	}
 }
 
+// BenchmarkMeasureCacheHitParallel hammers the same cached key from every
+// GOMAXPROCS worker at once. On the striped cache a hit takes zero locks
+// (one atomic read-map load per probe), so this should scale flat instead
+// of serializing on the accounting mutex.
+func BenchmarkMeasureCacheHitParallel(b *testing.B) {
+	f := newFake(b)
+	e := New(f)
+	s := variant(f.sp, 64, 4)
+	if _, err := e.Measure(s); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			if _, err := e.Measure(s); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
 // BenchmarkMeasureMiss is the full first-probe path: objective dispatch,
 // trajectory append, budget accounting, cache insert. Every iteration uses
 // a distinct setting so nothing is served from cache.
@@ -64,6 +86,33 @@ func BenchmarkMeasureBatch64(b *testing.B) {
 		for j := range batch {
 			batch[j] = benchVariant(f.sp, i*64+j)
 		}
+		for _, r := range e.MeasureBatch(batch) {
+			if r.Err != nil {
+				b.Fatal(r.Err)
+			}
+		}
+	}
+}
+
+// BenchmarkBatchCachedProbe64 re-submits the same fully-cached 64-setting
+// batch every iteration: phase 1 serves everything from the lock-free cache
+// probe, so this pins the cost of the probe-and-skip path that previously
+// took the engine mutex once per setting.
+func BenchmarkBatchCachedProbe64(b *testing.B) {
+	f := newFake(b)
+	e := New(f, WithWorkers(4))
+	batch := make([]space.Setting, 64)
+	for j := range batch {
+		batch[j] = benchVariant(f.sp, j)
+	}
+	for _, r := range e.MeasureBatch(batch) {
+		if r.Err != nil {
+			b.Fatal(r.Err)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
 		for _, r := range e.MeasureBatch(batch) {
 			if r.Err != nil {
 				b.Fatal(r.Err)

@@ -27,6 +27,7 @@ import (
 	"runtime"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/gpu"
@@ -164,10 +165,14 @@ type Engine struct {
 	jr             *journal.Journal
 	clock          Clock
 
+	// cache is the sharded memo store (cache.go): hits are lock-free reads
+	// of atomically-published immutable entries and never touch mu. The hit
+	// counter rides beside it as an atomic so the hot path stays lock-free;
+	// Stats() folds it back into the snapshot.
+	cache     *stripedCache
+	cacheHits atomic.Int64
+
 	mu        sync.Mutex
-	times     map[string]float64
-	errs      map[string]error
-	results   map[string]*sim.Result
 	permFails map[string]int
 	quar      map[string]struct{}
 
@@ -203,9 +208,7 @@ func New(obj sim.Objective, opts ...Option) *Engine {
 		best:      -1,
 		retry:     DefaultRetryPolicy(),
 		quarAfter: DefaultQuarantineAfter,
-		times:     map[string]float64{},
-		errs:      map[string]error{},
-		results:   map[string]*sim.Result{},
+		cache:     newStripedCache(),
 		permFails: map[string]int{},
 		quar:      map[string]struct{}{},
 		spans:     map[string]*Span{},
@@ -261,19 +264,15 @@ func (e *Engine) Measure(s space.Setting) (float64, error) {
 }
 
 // lookup consults the cache; ok=false means the setting must be measured.
+// Hits are lock-free reads of the striped store — the engine mutex guards
+// accounting only, never the memo maps (DESIGN.md §12).
 func (e *Engine) lookup(key string) (float64, error, bool) {
 	if e.noCache {
 		return 0, nil, false
 	}
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	if ms, ok := e.times[key]; ok {
-		e.stats.CacheHits++
-		return ms, nil, true
-	}
-	if err, ok := e.errs[key]; ok {
-		e.stats.CacheHits++
-		return 0, err, true
+	if ms, err, ok := e.cache.measureLookup(key); ok {
+		e.cacheHits.Add(1)
+		return ms, err, true
 	}
 	return 0, nil, false
 }
@@ -372,7 +371,17 @@ func (e *Engine) Trajectory() []Point {
 func (e *Engine) Stats() Stats {
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	return e.stats
+	return e.statsLocked()
+}
+
+// statsLocked folds the lock-free hit counter into the mutex-guarded
+// counters. Callers hold e.mu. Between concurrent operations the fold is a
+// consistent point-in-time sum; after a run quiesces it equals the
+// sequential count exactly, which is what the determinism goldens compare.
+func (e *Engine) statsLocked() Stats {
+	st := e.stats
+	st.CacheHits = int(e.cacheHits.Load())
+	return st
 }
 
 // Workers returns the batch worker-pool bound.

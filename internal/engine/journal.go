@@ -198,19 +198,20 @@ func (e *Engine) episodeCostS(ep episode) float64 {
 // summaryLocked snapshots the engine state for a checkpoint. Callers hold
 // e.mu.
 func (e *Engine) summaryLocked() journal.Summary {
+	st := e.statsLocked()
 	s := journal.Summary{
 		SpentS:          e.spentS,
 		BudgetS:         e.budgetS,
-		Evaluations:     e.stats.Evaluations,
-		CacheHits:       e.stats.CacheHits,
-		Invalid:         e.stats.Invalid,
-		BudgetTrips:     e.stats.BudgetTrips,
-		Transient:       e.stats.Transient,
-		Retries:         e.stats.Retries,
-		Timeouts:        e.stats.Timeouts,
-		Quarantined:     e.stats.Quarantined,
-		QuarantineSkips: e.stats.QuarantineSkips,
-		Canceled:        e.stats.Canceled,
+		Evaluations:     st.Evaluations,
+		CacheHits:       st.CacheHits,
+		Invalid:         st.Invalid,
+		BudgetTrips:     st.BudgetTrips,
+		Transient:       st.Transient,
+		Retries:         st.Retries,
+		Timeouts:        st.Timeouts,
+		Quarantined:     st.Quarantined,
+		QuarantineSkips: st.QuarantineSkips,
+		Canceled:        st.Canceled,
 		//cstlint:allow lockcall(the injected clock is a sub-microsecond read that never re-enters the engine)
 		WallUnixNano: e.clock().UnixNano(),
 	}

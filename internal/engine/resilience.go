@@ -394,7 +394,7 @@ func (e *Engine) accountEpisode(s space.Setting, key string, ep episode) (float6
 			e.stats.Invalid++
 			e.stats.SpentS = e.spentS
 			if !e.noCache {
-				e.errs[key] = ep.err
+				e.cache.storeErr(key, ep.err)
 			}
 			e.noteFailureLocked(key)
 			return 0, ep.err
@@ -410,7 +410,7 @@ func (e *Engine) accountEpisode(s space.Setting, key string, ep episode) (float6
 	}
 	e.traj = append(e.traj, Point{CostS: e.spentS, Evals: e.evals, BestMS: e.best})
 	if !e.noCache {
-		e.times[key] = ep.ms
+		e.cache.storeTime(key, ep.ms)
 	}
 	if e.quarAfter > 0 {
 		delete(e.permFails, key) // a success clears the failure streak
@@ -418,17 +418,45 @@ func (e *Engine) accountEpisode(s space.Setting, key string, ep episode) (float6
 	return ep.ms, nil
 }
 
+// keyScratch sizes MeasureCtx's stack buffer for rendered setting keys. The
+// stencil spaces here render to ~60 bytes; longer keys simply spill the
+// append to the heap, costing an allocation but nothing else.
+const keyScratch = 128
+
 // MeasureCtx is the context-aware Measure: the cache is consulted first
 // (cached results stay free even after cancellation), then quarantine, the
 // run context, and the budget, and finally one retrying measurement episode
 // runs against the inner objective.
+//
+// The cache probe is the hot path — tuning traffic is dominated by re-probes
+// of already-measured settings — and takes zero locks and zero allocations:
+// the key is rendered into a stack buffer and looked up in the striped
+// store's published read map; only a miss materializes the key string and
+// enters the slow path.
 //
 // Concurrent requests for the same uncached key collapse onto one episode:
 // the first caller measures, the rest wait and re-check the cache. Without
 // this, two goroutines racing on one key could each measure and charge it —
 // a schedule-dependent history no journal replay could reproduce.
 func (e *Engine) MeasureCtx(ctx context.Context, s space.Setting) (float64, error) {
-	key := s.Key()
+	if !e.noCache {
+		var kb [keyScratch]byte
+		key := s.AppendKey(kb[:0])
+		if ms, err, ok := e.cache.measureLookupBytes(key); ok {
+			e.cacheHits.Add(1)
+			return ms, err
+		}
+		return e.measureCtxSlow(ctx, s, string(key))
+	}
+	return e.measureCtxSlow(ctx, s, s.Key())
+}
+
+// measureCtxSlow is the uncached gauntlet: quarantine, run context, budget,
+// then the singleflight-collapsed measurement episode. A waiter loops back
+// through the (lock-free) cache lookup, so a cached success or permanent
+// error published while it slept is served exactly as a sequential second
+// call would see it.
+func (e *Engine) measureCtxSlow(ctx context.Context, s space.Setting, key string) (float64, error) {
 	for {
 		if ms, err, ok := e.lookup(key); ok {
 			return ms, err

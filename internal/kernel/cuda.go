@@ -1,8 +1,8 @@
 package kernel
 
 import (
+	"bytes"
 	"fmt"
-	"strings"
 
 	"repro/internal/space"
 )
@@ -14,57 +14,76 @@ import (
 // pre-processing overhead that Fig. 12 breaks down. The text is also a
 // human-auditable record of exactly which transformation each parameter
 // performs.
+//
+// Emission writes through a pooled scratch buffer (pool.go); only the
+// returned string is a fresh allocation, so per-candidate codegen does not
+// re-grow a builder for every setting.
 func (k *Kernel) EmitCUDA() string {
+	b := getEmitBuf()
+	k.emitCUDA(b)
+	s := b.String()
+	putEmitBuf(b)
+	return s
+}
+
+// emitCUDA writes the kernel text into b. It is the whole of the emission —
+// EmitCUDA only wraps it in buffer pooling — so tests can run it against a
+// fresh unpooled buffer and pin byte-equality with the pooled path.
+func (k *Kernel) emitCUDA(b *bytes.Buffer) {
 	st := k.Stencil
 	s := k.Setting
-	var b strings.Builder
 
-	fmt.Fprintf(&b, "// %s: auto-generated stencil kernel\n", st.Name)
-	fmt.Fprintf(&b, "// setting: %s\n", s.String())
-	fmt.Fprintf(&b, "// regs/thread (est) %d, smem/block %dB, grid %d blocks x %d threads\n\n",
+	fmt.Fprintf(b, "// %s: auto-generated stencil kernel\n", st.Name)
+	fmt.Fprintf(b, "// setting: %s\n", s.String())
+	fmt.Fprintf(b, "// regs/thread (est) %d, smem/block %dB, grid %d blocks x %d threads\n\n",
 		k.RegsPerThread, k.SharedPerBlock, k.GridBlocks, k.ThreadsPerBlock)
 
-	fmt.Fprintf(&b, "#define NX %d\n#define NY %d\n#define NZ %d\n", st.NX, st.NY, st.NZ)
-	fmt.Fprintf(&b, "#define TBX %d\n#define TBY %d\n#define TBZ %d\n",
+	fmt.Fprintf(b, "#define NX %d\n#define NY %d\n#define NZ %d\n", st.NX, st.NY, st.NZ)
+	fmt.Fprintf(b, "#define TBX %d\n#define TBY %d\n#define TBZ %d\n",
 		s[space.TBX], s[space.TBY], s[space.TBZ])
-	fmt.Fprintf(&b, "#define IDX(x,y,z) (((z)+%d)*((NY)+%d)*((NX)+%d) + ((y)+%d)*((NX)+%d) + ((x)+%d))\n\n",
+	fmt.Fprintf(b, "#define IDX(x,y,z) (((z)+%d)*((NY)+%d)*((NX)+%d) + ((y)+%d)*((NX)+%d) + ((x)+%d))\n\n",
 		st.Order, 2*st.Order, 2*st.Order, st.Order, 2*st.Order, st.Order)
 
 	if k.UsesConstant {
-		fmt.Fprintf(&b, "__constant__ double c_coeff[%d];\n\n", st.Coeffs)
+		fmt.Fprintf(b, "__constant__ double c_coeff[%d];\n\n", st.Coeffs)
 	}
 
-	// Kernel signature: one pointer per I/O array.
-	params := make([]string, 0, st.Inputs+st.Outputs)
+	// Kernel signature: one pointer per I/O array, written in place instead
+	// of joining a scratch []string.
+	fmt.Fprintf(b, "__global__ void __launch_bounds__(%d)\n%s_kernel(", k.ThreadsPerBlock, st.Name)
 	for i := 0; i < st.Inputs; i++ {
-		params = append(params, fmt.Sprintf("const double* __restrict__ in%d", i))
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		fmt.Fprintf(b, "const double* __restrict__ in%d", i)
 	}
 	for i := 0; i < st.Outputs; i++ {
-		params = append(params, fmt.Sprintf("double* __restrict__ out%d", i))
+		if st.Inputs+i > 0 {
+			b.WriteString(", ")
+		}
+		fmt.Fprintf(b, "double* __restrict__ out%d", i)
 	}
-	fmt.Fprintf(&b, "__global__ void __launch_bounds__(%d)\n%s_kernel(%s) {\n",
-		k.ThreadsPerBlock, st.Name, strings.Join(params, ", "))
+	b.WriteString(") {\n")
 
 	if k.UsesShared {
-		fmt.Fprintf(&b, "  extern __shared__ double smem[]; // %dB staged tile + halo\n", k.SharedPerBlock)
+		fmt.Fprintf(b, "  extern __shared__ double smem[]; // %dB staged tile + halo\n", k.SharedPerBlock)
 	}
 
 	// Global thread coordinates.
 	b.WriteString("  const int tx = blockIdx.x * TBX + threadIdx.x;\n")
 	b.WriteString("  const int ty = blockIdx.y * TBY + threadIdx.y;\n")
 	if k.Streaming {
-		fmt.Fprintf(&b, "  // 2.5-D streaming along %s: %d concurrent tiles of %d points\n",
+		fmt.Fprintf(b, "  // 2.5-D streaming along %s: %d concurrent tiles of %d points\n",
 			dimName(k.SDim), k.SBTiles, k.TileLen)
-		fmt.Fprintf(&b, "  const int tile = blockIdx.z;           // concurrent-streaming tile (SB=%d)\n", k.SBTiles)
-		fmt.Fprintf(&b, "  const int tile_lo = tile * %d;\n", k.TileLen)
+		fmt.Fprintf(b, "  const int tile = blockIdx.z;           // concurrent-streaming tile (SB=%d)\n", k.SBTiles)
+		fmt.Fprintf(b, "  const int tile_lo = tile * %d;\n", k.TileLen)
 	} else {
 		b.WriteString("  const int tz = blockIdx.z * TBZ + threadIdx.z;\n")
 	}
 	b.WriteString("\n")
 
-	emitMergeLoops(&b, k)
+	emitMergeLoops(b, k)
 	b.WriteString("}\n")
-	return b.String()
 }
 
 func dimName(d int) string {
@@ -81,7 +100,7 @@ func dimName(d int) string {
 
 // emitMergeLoops renders the cyclic/adjacent merge structure and the fully
 // unrolled tap accumulation.
-func emitMergeLoops(b *strings.Builder, k *Kernel) {
+func emitMergeLoops(b *bytes.Buffer, k *Kernel) {
 	st := k.Stencil
 	s := k.Setting
 

@@ -1,0 +1,34 @@
+package kernel
+
+import (
+	"bytes"
+	"sync"
+)
+
+// emitBufs pools the scratch buffers behind EmitCUDA. Code generation runs
+// once per candidate setting — a GA campaign emits thousands of kernels —
+// and without pooling every emission re-grows a fresh builder through the
+// same ~2 KB of doublings. A pooled buffer keeps its high-water capacity, so
+// steady-state emission allocates only the final string copy.
+//
+// Buffers are reset on Get, not trusted from Put: a poisoned (huge) buffer
+// is dropped rather than pooled so one pathological kernel cannot pin
+// memory for the rest of the process.
+var emitBufs = sync.Pool{New: func() any { return new(bytes.Buffer) }}
+
+// emitBufCap is the largest buffer capacity worth pooling. Emitted kernels
+// are a few KB; anything past this came from an outlier stencil and is left
+// for the GC.
+const emitBufCap = 64 << 10
+
+func getEmitBuf() *bytes.Buffer {
+	b := emitBufs.Get().(*bytes.Buffer)
+	b.Reset()
+	return b
+}
+
+func putEmitBuf(b *bytes.Buffer) {
+	if b.Cap() <= emitBufCap {
+		emitBufs.Put(b)
+	}
+}

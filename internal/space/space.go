@@ -102,14 +102,29 @@ func (s Setting) Equal(o Setting) bool {
 
 // Key returns a compact unique string key for map indexing.
 func (s Setting) Key() string {
-	var b strings.Builder
+	return string(s.AppendKey(make([]byte, 0, 64)))
+}
+
+// AppendKey appends the Key representation to dst and returns the extended
+// slice. Hot paths (the engine's lock-free cache probe) render the key into
+// a stack scratch buffer with it, so a cache hit never allocates. Values of
+// one or two digits — the overwhelming bulk of stencil parameters — are
+// rendered inline; anything else falls back to strconv.
+func (s Setting) AppendKey(dst []byte) []byte {
 	for i, v := range s {
 		if i > 0 {
-			b.WriteByte(',')
+			dst = append(dst, ',')
 		}
-		b.WriteString(strconv.Itoa(v))
+		switch {
+		case v >= 0 && v < 10:
+			dst = append(dst, byte('0'+v))
+		case v >= 10 && v < 100:
+			dst = append(dst, byte('0'+v/10), byte('0'+v%10))
+		default:
+			dst = strconv.AppendInt(dst, int64(v), 10)
+		}
 	}
-	return b.String()
+	return dst
 }
 
 // ParseKey decodes a Setting.Key string back into a setting. It is strict:
