@@ -27,6 +27,7 @@ import (
 	"repro/internal/sim"
 	"repro/internal/space"
 	"repro/internal/stencil"
+	"repro/internal/store"
 	"repro/internal/temporal"
 )
 
@@ -386,6 +387,28 @@ func OpenCampaignRegistry(dir string, opts RegistryOptions) (*CampaignRegistry, 
 // NewCampaignHandler returns the HTTP API over a registry — the same
 // handler cstunerd serves. See DESIGN.md §10 for the endpoint contract.
 func NewCampaignHandler(reg *CampaignRegistry) http.Handler { return service.New(reg) }
+
+// ResultStore is the persistent cross-campaign measurement store: an
+// append-only, crash-safe database of (architecture, stencil shape, setting)
+// → best measured milliseconds, shared by every campaign under one registry
+// root. Campaigns consult it before measuring (a hit costs zero budget) and
+// publish every completed measurement back; see DESIGN.md §13.
+type ResultStore = store.Store
+
+// ResultStoreStats is a store's counter snapshot (keys, segments, loaded and
+// appended records, quarantined files).
+type ResultStoreStats = store.Stats
+
+// ResultStoreEntry is one decomposed store record, as returned by
+// ResultStore.Best.
+type ResultStoreEntry = store.Entry
+
+// OpenResultStore opens (creating if needed) a shared result store rooted at
+// dir. Multiple processes may hold the same directory open concurrently;
+// each appends to its own segment file. The registry manages its own store
+// when RegistryOptions.EnableStore is set — open one directly only for
+// engine-level wiring via engine.WithStore or offline inspection.
+func OpenResultStore(dir string) (*ResultStore, error) { return store.Open(dir) }
 
 // FormatGroups renders a grouping (from Report.Groups) with parameter names.
 func FormatGroups(groups [][]int) string { return grouping.Format(groups) }

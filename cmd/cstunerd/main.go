@@ -18,6 +18,7 @@
 //	POST /v1/campaigns/{id}/pause    pause, keeping all journaled work
 //	POST /v1/campaigns/{id}/resume   resume a paused campaign via replay
 //	GET  /v1/tenants                 per-tenant budget ledgers
+//	GET  /v1/store                   shared result-store counters
 //	GET  /v1/healthz                 liveness
 //
 // On SIGINT/SIGTERM the server stops accepting requests, drains in-flight
@@ -56,6 +57,7 @@ func run() error {
 		addr         = flag.String("addr", "127.0.0.1:8080", "listen address")
 		slots        = flag.Int("slots", 8, "concurrent measurement slots shared by all campaigns")
 		tenantBudget = flag.Float64("tenant-budget", 0, "default per-tenant virtual budget in seconds (0 = unmetered)")
+		enableStore  = flag.Bool("store", false, "share measured results across campaigns via <root>/store (warm starts, zero-cost store hits)")
 		drain        = flag.Duration("drain", 10*time.Second, "graceful-shutdown deadline for in-flight HTTP requests")
 	)
 	flag.Parse()
@@ -63,6 +65,7 @@ func run() error {
 	reg, err := campaign.Open(*root, campaign.Options{
 		Slots:         *slots,
 		TenantBudgetS: *tenantBudget,
+		EnableStore:   *enableStore,
 	})
 	if err != nil {
 		return err

@@ -19,6 +19,10 @@
 //	experiments -campaign cstuner -journal run.wal -budget 40   # start
 //	experiments -campaign cstuner -journal run.wal -budget 40 -resume
 //
+// Warm-started tuning from a shared result store (DESIGN.md §13):
+//
+//	experiments -warmstart 8 -budget 40 -quick
+//
 // Full-protocol runs (-repeats 10, all eight stencils, 20k motivation
 // samples) reproduce the paper's setup but take correspondingly long on one
 // core; -quick keeps every experiment's structure at reduced scale.
@@ -53,6 +57,8 @@ func main() {
 		campaign  = flag.String("campaign", "", "run one crash-safe campaign: cstuner, opentuner, garvey or artemis")
 		jpath     = flag.String("journal", "", "write-ahead journal path for -campaign (enables crash-safe resume)")
 		resume    = flag.Bool("resume", false, "require the -journal file to exist and resume it")
+		warmstart = flag.Int("warmstart", 0, "cold-vs-warm comparison: run a cold campaign into a fresh store, then a warm campaign seeded with that many of its bests")
+		storeDir  = flag.String("store", "", "result-store directory for -warmstart (default: a temp dir)")
 	)
 	flag.Parse()
 
@@ -173,6 +179,40 @@ func main() {
 			}
 			fmt.Fprintf(w, "best=%v bestms=%.6f evals=%d spent=%.1fs\n",
 				res.Best, res.BestMS, res.Stats.Evaluations, res.Stats.SpentS)
+			return nil
+		})
+	}
+
+	if *warmstart > 0 {
+		run("Warm start (cold vs warm campaign)", func() error {
+			dir := *storeDir
+			if dir == "" {
+				tmp, err := os.MkdirTemp("", "cstuner-store-")
+				if err != nil {
+					return err
+				}
+				defer func() { _ = os.RemoveAll(tmp) }()
+				dir = tmp
+			}
+			fx, err := harness.NewFixture(o.Stencils[0], o.Arch, o.DatasetSize, o.Seed)
+			if err != nil {
+				return err
+			}
+			rep, err := harness.WarmStartCompare(context.Background(), fx, harness.CampaignConfig{
+				Method:  "cstuner",
+				BudgetS: o.BudgetS,
+				Seed:    o.Seed,
+			}, dir, *warmstart)
+			if err != nil {
+				return err
+			}
+			fmt.Fprintf(w, "stencil=%s budget=%gs seeds=%d\n", o.Stencils[0].Name, o.BudgetS, len(rep.WarmKeys))
+			fmt.Fprintf(w, "cold: best=%.6fms evals-to-best=%d evals=%d\n", rep.ColdBestMS, rep.ColdEvalsToBest, rep.ColdEvals)
+			fmt.Fprintf(w, "warm: best=%.6fms evals-to-cold-best=%d evals=%d\n", rep.WarmBestMS, rep.WarmEvalsToBest, rep.WarmEvals)
+			if rep.ColdEvalsToBest > 0 && rep.WarmEvalsToBest >= 0 {
+				fmt.Fprintf(w, "warm reached the cold best with %.0f%% of the cold run's measurements\n",
+					100*float64(rep.WarmEvalsToBest)/float64(rep.ColdEvalsToBest))
+			}
 			return nil
 		})
 	}

@@ -122,6 +122,13 @@ type Status struct {
 	Evals    int     `json:"evals"`
 	Replayed int     `json:"replayed"`
 
+	// StoreHits/StoreMisses count cross-campaign result-store traffic;
+	// WarmStartSeeds counts prior bests injected into this run's search.
+	// All zero when the registry runs without a store.
+	StoreHits      int `json:"store_hits,omitempty"`
+	StoreMisses    int `json:"store_misses,omitempty"`
+	WarmStartSeeds int `json:"warm_start_seeds,omitempty"`
+
 	Found     bool         `json:"found"`
 	BestKey   string       `json:"best_key,omitempty"`
 	BestMS    float64      `json:"best_ms,omitempty"`
@@ -152,6 +159,9 @@ func (c *Campaign) Status() Status {
 		st.SpentS = res.Stats.SpentS
 		st.Evals = res.Stats.Evaluations
 		st.Replayed = res.Replayed
+		st.StoreHits = res.Stats.StoreHits
+		st.StoreMisses = res.Stats.StoreMisses
+		st.WarmStartSeeds = res.Stats.WarmStartSeeds
 		st.Found = res.Found
 		if res.Found {
 			st.BestKey = res.Best.Key()
@@ -162,6 +172,10 @@ func (c *Campaign) Status() Status {
 		st.SpentS = eng.SpentS()
 		st.Evals = eng.Evals()
 		st.Replayed = eng.Replayed()
+		es := eng.Stats()
+		st.StoreHits = es.StoreHits
+		st.StoreMisses = es.StoreMisses
+		st.WarmStartSeeds = es.WarmStartSeeds
 		if set, ms, ok := eng.Best(); ok {
 			st.Found, st.BestKey, st.BestMS = true, set.Key(), ms
 		}

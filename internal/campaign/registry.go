@@ -15,6 +15,7 @@ import (
 	"repro/internal/harness"
 	"repro/internal/journal"
 	"repro/internal/stencil"
+	"repro/internal/store"
 )
 
 // Registry errors surfaced to the serving layer.
@@ -39,6 +40,15 @@ type Options struct {
 	// Autostart, default true via Open, runs pending campaigns immediately.
 	// Tests set DisableAutostart to drive campaigns by hand.
 	DisableAutostart bool
+	// EnableStore opens the shared cross-campaign result store under
+	// <root>/store: every campaign consults it before measuring, publishes
+	// successes back, and may warm-start from it (Spec.WarmStart). The
+	// directory layout is multi-process safe — several registries may share
+	// one root.
+	EnableStore bool
+	// StoreDir overrides the store location (default <root>/store); implies
+	// EnableStore. Lets several registry roots share one store.
+	StoreDir string
 }
 
 // Registry owns every campaign under one root directory: one subdirectory
@@ -54,6 +64,7 @@ type Registry struct {
 	sched   *Scheduler
 	ledgers *Ledgers
 	opts    Options
+	store   *store.Store // shared result store; nil when disabled
 
 	baseCtx    context.Context
 	baseCancel context.CancelFunc
@@ -108,8 +119,23 @@ func Open(dir string, opts Options) (*Registry, error) {
 		campaigns:  map[string]*Campaign{},
 		fixtures:   map[fixtureKey]*fixtureEntry{},
 	}
+	if opts.EnableStore || opts.StoreDir != "" {
+		sdir := opts.StoreDir
+		if sdir == "" {
+			sdir = filepath.Join(dir, "store")
+		}
+		st, err := store.Open(sdir)
+		if err != nil {
+			cancel()
+			return nil, err
+		}
+		r.store = st
+	}
 	if err := r.scan(); err != nil {
 		cancel()
+		if r.store != nil {
+			_ = r.store.Close()
+		}
 		return nil, err
 	}
 	if !opts.DisableAutostart {
@@ -124,6 +150,18 @@ func (r *Registry) Ledgers() *Ledgers { return r.ledgers }
 
 // Scheduler exposes the fairness scheduler (diagnostics).
 func (r *Registry) Scheduler() *Scheduler { return r.sched }
+
+// Store exposes the shared result store; nil when disabled.
+func (r *Registry) Store() *store.Store { return r.store }
+
+// StoreStats snapshots the shared store's counters; enabled=false when the
+// registry was opened without a store.
+func (r *Registry) StoreStats() (store.Stats, bool) {
+	if r.store == nil {
+		return store.Stats{}, false
+	}
+	return r.store.Stats(), true
+}
 
 // scan loads every campaign directory under the root. A campaign whose
 // journal is corrupt or was written under a different fingerprint is
@@ -438,6 +476,18 @@ func (r *Registry) run(ctx context.Context, c *Campaign) {
 	}
 
 	cfg := c.config(Gate(ctx, r.sched, c.Spec.Tenant, c.Spec.Weight))
+	if r.store != nil {
+		cfg.Store = r.store
+		if c.Spec.WarmStart > 0 && c.Spec.Fingerprint == "" && c.Spec.WarmKeys == nil {
+			// Resolve warm seeds exactly once, before the fingerprint below
+			// freezes them into the campaign identity. ResolveWarmKeys
+			// returns a non-nil slice even when the store has nothing, so an
+			// empty resolution persists as "resolved, cold" and is never
+			// retried against a store that has since grown.
+			c.Spec.WarmKeys = harness.ResolveWarmKeys(r.store, fx, c.Spec.WarmStart)
+		}
+		cfg.WarmStart = harness.ParseWarmKeys(fx.Space, c.Spec.WarmKeys)
+	}
 	fp := harness.CampaignFingerprint(fx, cfg)
 	if c.Spec.Fingerprint == "" {
 		c.Spec.Fingerprint = fp
@@ -484,6 +534,12 @@ func (r *Registry) run(ctx context.Context, c *Campaign) {
 	if perr := c.persistResult(res); perr != nil {
 		r.settleTerminal(c, StateFailed, fmt.Sprintf("persist result: %v", perr))
 		return
+	}
+	if r.store != nil {
+		// Make this campaign's published measurements visible to concurrent
+		// processes sharing the store directory. Best-effort: the store is a
+		// cache, and a flush failure must not fail a completed campaign.
+		_ = r.store.Flush()
 	}
 	r.settleTerminalWithSpend(c, StateCompleted, "", res.Stats.SpentS)
 }
@@ -647,5 +703,9 @@ func (r *Registry) Close() error {
 	r.mu.Unlock()
 	r.baseCancel()
 	r.wg.Wait()
+	if r.store != nil {
+		// After the runner drain: no campaign can publish anymore.
+		return r.store.Close()
+	}
 	return nil
 }

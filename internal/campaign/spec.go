@@ -40,6 +40,15 @@ type Spec struct {
 	Repeats         int `json:"repeats,omitempty"`
 	Quarantine      int `json:"quarantine,omitempty"`
 	CheckpointEvery int `json:"checkpoint_every,omitempty"`
+	// WarmStart requests up to that many warm-start seeds from the shared
+	// result store (0 = cold start). Ignored when the registry has no store.
+	WarmStart int `json:"warm_start,omitempty"`
+	// WarmKeys are the resolved warm-start setting keys. They are resolved
+	// exactly once — on the campaign's first run, before the fingerprint is
+	// computed — and persisted, so a restart re-runs with the same seeds
+	// even though the shared store has grown since. Never set by the
+	// submitter.
+	WarmKeys []string `json:"warm_keys,omitempty"`
 	// Fingerprint is the journal identity computed on the campaign's first
 	// run (harness.CampaignFingerprint) and persisted so a restart can
 	// validate the on-disk journal without rebuilding the fixture. Empty
@@ -67,6 +76,16 @@ func (s *Spec) Validate() error {
 	}
 	if s.DatasetSize <= 0 {
 		s.DatasetSize = 64
+	}
+	if s.WarmStart < 0 {
+		return errors.New("campaign: warm_start must be >= 0")
+	}
+	if len(s.WarmKeys) > 0 {
+		// WarmKeys are resolved by the first run, never submitted: accepting
+		// caller-supplied keys would bypass resolution (and the fingerprint
+		// discipline built on it). Validate runs at submit time only —
+		// restart loads persisted specs, warm keys included, unvalidated.
+		return errors.New("campaign: warm_keys are resolved by the registry, not submitted")
 	}
 	if s.Weight <= 0 {
 		s.Weight = 1

@@ -61,6 +61,13 @@ type Config struct {
 	// (or a wrapper in its chain) to expose sim.ArchProvider so the target
 	// arch is known.
 	EmitKernels bool
+	// WarmStart lists prior best settings (typically a cross-campaign result
+	// store's bests, possibly transferred from another architecture) to seed
+	// the search with: each valid entry is injected into the sampled space,
+	// measured as an anchor, and fed to the GA's initial population. Invalid
+	// or wrong-arity entries are skipped. Empty leaves the pipeline
+	// byte-identical to the cold path.
+	WarmStart []space.Setting
 }
 
 // DefaultConfig returns the paper's configuration.
@@ -235,6 +242,13 @@ func TuneCtx(ctx context.Context, obj sim.Objective, ds *dataset.Dataset, cfg Co
 	if err != nil {
 		return nil, fmt.Errorf("core: sampling: %w", err)
 	}
+	if warm := validWarmStart(sp, cfg.WarmStart); len(warm) > 0 {
+		// Warm-start injection: a prior campaign's bests join the sampled
+		// space so the group search can reach (and recombine) them even when
+		// the model filter would have dropped them.
+		sampled.Include(warm)
+		eng.AddWarmStartSeeds(len(warm))
+	}
 	rep.SampledSize = len(sampled.Settings)
 	stopSpan()
 	rep.Overhead.Sampling = eng.Now().Sub(t0)
@@ -368,6 +382,16 @@ func search(ctx context.Context, eng *engine.Engine, sampled *sampling.Sampled, 
 	if ms := measure(current); math.IsInf(ms, 1) {
 		current, _ = best()
 	}
+	// Warm anchors: a prior campaign's bests are measured up front — against
+	// a shared result store these are free hits — so the search starts from
+	// the transferred floor and the GA seeds below compete with live context.
+	warm := validWarmStart(sp, cfg.WarmStart)
+	for _, w := range warm {
+		measure(w)
+	}
+	if len(warm) > 0 {
+		current, _ = best()
+	}
 
 	order := groupOrder(sampled)
 	rep.GroupOrder = order
@@ -392,6 +416,7 @@ func search(ctx context.Context, eng *engine.Engine, sampled *sampling.Sampled, 
 				continue
 			}
 			gaOpt.Seed = cfg.Seed + int64(gi)*104729 + int64(pass)*15485863
+			gaOpt.Seeds = warmTupleSeeds(sampled, warm, gi)
 			_, before := best()
 			res := ga.Minimize(len(values), func(tupleIdx int) float64 {
 				cand := current.Clone()
@@ -422,6 +447,46 @@ func search(ctx context.Context, eng *engine.Engine, sampled *sampling.Sampled, 
 	}
 	bestSet, bestMS := best()
 	return bestSet, bestMS, nil
+}
+
+// validWarmStart filters warm-start settings down to the ones this space
+// accepts (right arity, passes validation), cloned, in order.
+func validWarmStart(sp *space.Space, warm []space.Setting) []space.Setting {
+	if len(warm) == 0 {
+		return nil
+	}
+	out := make([]space.Setting, 0, len(warm))
+	for _, w := range warm {
+		if len(w) != sp.N() || sp.Validate(w) != nil {
+			continue
+		}
+		out = append(out, w.Clone())
+	}
+	return out
+}
+
+// warmTupleSeeds maps warm settings onto group gi's re-indexed gene range:
+// the GA's initial-population seeds. Settings whose tuple is absent from
+// the sampled space (possible only when injection was skipped) drop out,
+// and duplicates collapse in first-seen order.
+func warmTupleSeeds(sampled *sampling.Sampled, warm []space.Setting, gi int) []int {
+	if len(warm) == 0 {
+		return nil
+	}
+	var seeds []int
+	seen := map[int]struct{}{}
+	for _, w := range warm {
+		idx := sampled.TupleIndex(w, gi)
+		if idx < 0 {
+			continue
+		}
+		if _, dup := seen[idx]; dup {
+			continue
+		}
+		seen[idx] = struct{}{}
+		seeds = append(seeds, idx)
+	}
+	return seeds
 }
 
 // groupOrder returns group indices sorted by descending value-range size.

@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/journal"
 	"repro/internal/space"
+	"repro/internal/store"
 )
 
 // The engine microbenchmarks below are the inputs to cmd/benchsnap, which
@@ -186,5 +187,76 @@ func BenchmarkJournalReplay256(b *testing.B) {
 		if err := j.Close(); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// storeBenchEngine builds an engine attached to a store pre-loaded with n
+// composite keys (benchVariant 0..n-1), returning the engine, the store and
+// the raw setting keys.
+func storeBenchEngine(b *testing.B, n int) (*Engine, *store.Store, []string) {
+	b.Helper()
+	st, err := store.Open(filepath.Join(b.TempDir(), "store"))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { _ = st.Close() })
+	f := newFake(b)
+	e := New(f, WithStore(st, testPrefix))
+	keys := make([]string, n)
+	for i := range keys {
+		keys[i] = benchVariant(f.sp, i).Key()
+		st.Put(testPrefix+keys[i], 0.25+float64(i)/float64(n))
+	}
+	return e, st, keys
+}
+
+// BenchmarkStoreLookupHit is the cross-campaign hit primitive: render the
+// composite key into stack scratch and probe the store's lock-free striped
+// index. The acceptance bar is ~2x BenchmarkMeasureCacheHit — a shared-store
+// hit should cost about as much as a memo-cache hit.
+func BenchmarkStoreLookupHit(b *testing.B) {
+	e, _, keys := storeBenchEngine(b, 4096)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, ok := e.storeProbe(keys[i%len(keys)]); !ok {
+			b.Fatal("seeded key missed")
+		}
+	}
+}
+
+// BenchmarkStoreLookupMiss probes keys the store does not hold — the cost
+// every store-attached measurement pays before falling through to the
+// objective.
+func BenchmarkStoreLookupMiss(b *testing.B) {
+	e, _, _ := storeBenchEngine(b, 4096)
+	f := newFake(b)
+	miss := make([]string, 1024)
+	for i := range miss {
+		miss[i] = benchVariant(f.sp, 100000+i).Key()
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, ok := e.storeProbe(miss[i%len(miss)]); ok {
+			b.Fatal("unseeded key hit")
+		}
+	}
+}
+
+// BenchmarkStoreAppend is the publish path: each iteration records a new
+// best under a fresh composite key — index insert plus one buffered,
+// CRC-framed segment write (no fsync).
+func BenchmarkStoreAppend(b *testing.B) {
+	_, st, _ := storeBenchEngine(b, 1)
+	f := newFake(b)
+	keys := make([]string, b.N)
+	for i := range keys {
+		keys[i] = testPrefix + benchVariant(f.sp, 200000+i).Key()
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		st.Put(keys[i], 0.5)
 	}
 }

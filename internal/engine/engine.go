@@ -96,6 +96,16 @@ type Stats struct {
 	// Canceled counts measurements aborted or refused by run-level context
 	// cancellation.
 	Canceled int
+	// StoreHits counts measurement episodes served from the cross-campaign
+	// result store (WithStore) instead of the objective. Store hits charge
+	// zero budget and do not count as Evaluations.
+	StoreHits int
+	// StoreMisses counts measurement episodes that consulted the store and
+	// had to measure (or fail) live.
+	StoreMisses int
+	// WarmStartSeeds counts prior-best settings injected into this run's
+	// search from the store (sampling set + GA initial population).
+	WarmStartSeeds int
 	// SpentS is the virtual seconds consumed so far.
 	SpentS float64
 }
@@ -172,6 +182,16 @@ type Engine struct {
 	cache     *stripedCache
 	cacheHits atomic.Int64
 
+	// store is the optional cross-campaign result store (store.go):
+	// consulted on a memo-cache miss before measuring, published back on
+	// every successful episode. Probes are lock-free; the counters are
+	// atomics folded in by statsLocked, like cacheHits.
+	store       resultStore
+	storePrefix string
+	storeHits   atomic.Int64
+	storeMisses atomic.Int64
+	warmSeeds   atomic.Int64
+
 	mu        sync.Mutex
 	permFails map[string]int
 	quar      map[string]struct{}
@@ -217,6 +237,11 @@ func New(obj sim.Objective, opts ...Option) *Engine {
 	}
 	for _, o := range opts {
 		o(e)
+	}
+	if e.noCache {
+		// Uncached engines exist to count raw measurements; serving some of
+		// them from a shared store would change their semantics.
+		e.store = nil
 	}
 	if e.workers < 1 {
 		e.workers = runtime.GOMAXPROCS(0)
@@ -381,6 +406,9 @@ func (e *Engine) Stats() Stats {
 func (e *Engine) statsLocked() Stats {
 	st := e.stats
 	st.CacheHits = int(e.cacheHits.Load())
+	st.StoreHits = int(e.storeHits.Load())
+	st.StoreMisses = int(e.storeMisses.Load())
+	st.WarmStartSeeds = int(e.warmSeeds.Load())
 	return st
 }
 

@@ -144,6 +144,9 @@ func episodeFromRecord(r journal.Episode) episode {
 	switch r.Class {
 	case journal.ClassOK:
 		ep.ms, ep.msSum = r.MS, r.MSSum
+	case journal.ClassStore:
+		ep.ms, ep.msSum = r.MS, r.MSSum
+		ep.fromStore = true
 	case journal.ClassBudget:
 		ep.err = ErrBudget
 	case journal.ClassTransient:
@@ -167,7 +170,14 @@ func recordFromEpisode(key string, ep episode, costS float64) journal.Episode {
 		CostS:     costS,
 	}
 	if ep.err == nil {
-		r.Class = journal.ClassOK
+		if ep.fromStore {
+			// A store hit is durable as its own class so a resumed run
+			// replays the hit instead of re-probing a store that may have
+			// grown since — resume must not depend on store content.
+			r.Class = journal.ClassStore
+		} else {
+			r.Class = journal.ClassOK
+		}
 		r.MS, r.MSSum = ep.ms, ep.msSum
 		return r
 	}
@@ -186,6 +196,9 @@ func recordFromEpisode(key string, ep episode, costS float64) journal.Episode {
 // episodeCostS prices one finished episode exactly as accountEpisode will
 // charge it, so the journal record carries the true cost.
 func (e *Engine) episodeCostS(ep episode) float64 {
+	if ep.fromStore {
+		return 0 // the measurement was paid for by a previous campaign
+	}
 	if ep.err == nil {
 		return ep.backoffS + e.cost.CompileS + float64(e.cost.Reps)*ep.msSum/1000
 	}
@@ -212,6 +225,9 @@ func (e *Engine) summaryLocked() journal.Summary {
 		Quarantined:     st.Quarantined,
 		QuarantineSkips: st.QuarantineSkips,
 		Canceled:        st.Canceled,
+		StoreHits:       st.StoreHits,
+		StoreMisses:     st.StoreMisses,
+		WarmStartSeeds:  st.WarmStartSeeds,
 		//cstlint:allow lockcall(the injected clock is a sub-microsecond read that never re-enters the engine)
 		WallUnixNano: e.clock().UnixNano(),
 	}

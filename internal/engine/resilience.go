@@ -145,6 +145,7 @@ type episode struct {
 	timeouts  int
 	backoffS  float64
 	replayed  bool // served from the campaign journal, not the objective
+	fromStore bool // served from the cross-campaign result store
 }
 
 // measureEpisode runs the retry loop for one setting. On a resumed engine
@@ -154,6 +155,15 @@ type episode struct {
 func (e *Engine) measureEpisode(ctx context.Context, s space.Setting, key string) episode {
 	if ep, ok := e.replayPop(key); ok {
 		return ep
+	}
+	// Cross-campaign store probe: a prior campaign already measured this
+	// setting on this (arch, shape), so serve its scored time instead of
+	// measuring. The probe sits after journal replay — a resumed run replays
+	// its recorded ClassStore hits and never reaches here for them — and
+	// after every sequential gate, so gate outcomes are independent of store
+	// content. Lock-free and pure: safe from the parallel batch phase.
+	if ms, ok := e.storeProbe(key); ok {
+		return episode{ms: ms, msSum: ms, fromStore: true}
 	}
 	max := e.retry.MaxAttempts
 	if max < 1 {
@@ -362,6 +372,34 @@ func (e *Engine) accountEpisode(s space.Setting, key string, ep episode) (float6
 		return 0, err
 	}
 	defer e.maybeCheckpointLocked()
+	if ep.fromStore {
+		// A cross-campaign store hit: the measurement was paid for by a
+		// previous campaign, so the virtual clock, the evaluation count and
+		// the failure bookkeeping all stand still. The result still competes
+		// for best (with a trajectory point only on improvement — free hits
+		// advance neither axis) and lands in the memo cache so re-probes stay
+		// on the lock-free fast path.
+		e.storeHits.Add(1)
+		e.stats.SpentS = e.spentS
+		if e.best < 0 || ep.ms < e.best {
+			e.best = ep.ms
+			e.bestSet = s.Clone()
+			e.traj = append(e.traj, Point{CostS: e.spentS, Evals: e.evals, BestMS: e.best})
+		}
+		if !e.noCache {
+			e.cache.storeTime(key, ep.ms)
+		}
+		if e.quarAfter > 0 {
+			delete(e.permFails, key) // a served success clears the streak
+		}
+		return ep.ms, nil
+	}
+	if e.store != nil && !(ep.err != nil && Classify(ep.err) == ClassCanceled) {
+		// The episode consulted the store and measured (or failed) live.
+		// Cancelled aborts are excluded: like everywhere else in the
+		// accounting they are the shutdown itself, not an outcome.
+		e.storeMisses.Add(1)
+	}
 	e.stats.Retries += ep.attempts - 1
 	e.stats.Transient += ep.transient
 	e.stats.Timeouts += ep.timeouts
@@ -412,6 +450,10 @@ func (e *Engine) accountEpisode(s space.Setting, key string, ep episode) (float6
 	if !e.noCache {
 		e.cache.storeTime(key, ep.ms)
 	}
+	// Publish the paid-for measurement to the shared store (sequentially —
+	// see storePublishLocked). Replayed episodes publish too: the min-merge
+	// is idempotent, and resume should backfill a store attached later.
+	e.storePublishLocked(key, ep.ms)
 	if e.quarAfter > 0 {
 		delete(e.permFails, key) // a success clears the failure streak
 	}

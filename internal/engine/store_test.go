@@ -1,0 +1,277 @@
+package engine
+
+import (
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"repro/internal/journal"
+	"repro/internal/space"
+	"repro/internal/store"
+)
+
+const testPrefix = "arch:test|shape:test|"
+
+func storeAt(t *testing.T) *store.Store {
+	t.Helper()
+	st, err := store.Open(filepath.Join(t.TempDir(), "store"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = st.Close() })
+	return st
+}
+
+func TestStoreHitServesWithoutMeasuringOrCharging(t *testing.T) {
+	st := storeAt(t)
+
+	// Campaign A pays for two measurements and publishes them.
+	fa := newFake(t)
+	ea := New(fa, WithCost(CostModel{CompileS: 2}), WithStore(st, testPrefix))
+	s1, s2 := variant(fa.sp, 16, 1), variant(fa.sp, 64, 4)
+	ms1, err := ea.Measure(s1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ms2, err := ea.Measure(s2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sa := ea.Stats(); sa.StoreHits != 0 || sa.StoreMisses != 2 {
+		t.Fatalf("publisher stats = %+v", sa)
+	}
+
+	// Campaign B shares the store: both settings are free hits.
+	fb := newFake(t)
+	eb := New(fb, WithCost(CostModel{CompileS: 2}), WithStore(st, testPrefix))
+	got2, err := eb.Measure(s2)
+	if err != nil || got2 != ms2 {
+		t.Fatalf("hit = %v/%v want %v", got2, err, ms2)
+	}
+	got1, err := eb.Measure(s1)
+	if err != nil || got1 != ms1 {
+		t.Fatalf("hit = %v/%v want %v", got1, err, ms1)
+	}
+	if n := fb.callCount(s1) + fb.callCount(s2); n != 0 {
+		t.Fatalf("store hits reached the objective %d times", n)
+	}
+	sb := eb.Stats()
+	if sb.StoreHits != 2 || sb.StoreMisses != 0 {
+		t.Fatalf("consumer stats = %+v", sb)
+	}
+	if sb.SpentS != 0 || sb.Evaluations != 0 {
+		t.Fatalf("store hits were charged: %+v", sb)
+	}
+	// s2 is slower than s1 (TBx dominates): first hit set best, second
+	// improved it — two trajectory points, both at zero cost.
+	traj := eb.Trajectory()
+	if len(traj) != 2 || traj[0].BestMS != ms2 || traj[1].BestMS != ms1 {
+		t.Fatalf("trajectory = %+v", traj)
+	}
+	for _, p := range traj {
+		if p.CostS != 0 || p.Evals != 0 {
+			t.Fatalf("store-hit trajectory point advanced an axis: %+v", p)
+		}
+	}
+	if set, ms, ok := eb.Best(); !ok || ms != ms1 || set.Key() != s1.Key() {
+		t.Fatalf("best = %v/%v/%v", set, ms, ok)
+	}
+	// The hit landed in the memo cache: a re-probe is a cache hit, not a
+	// second store hit.
+	if _, err := eb.Measure(s1); err != nil {
+		t.Fatal(err)
+	}
+	if sb2 := eb.Stats(); sb2.CacheHits != 1 || sb2.StoreHits != 2 {
+		t.Fatalf("re-probe stats = %+v", sb2)
+	}
+}
+
+// TestStoreDisabledIsByteIdentical pins the integration's zero-cost-off
+// property: an engine with no store (or an explicitly nil one) produces
+// exactly the baseline's stats, trajectory and results.
+func TestStoreDisabledIsByteIdentical(t *testing.T) {
+	fa := newFake(t)
+	base := New(fa)
+	runSequence(t, base, fa.sp)
+
+	fb := newFake(t)
+	nilStore := New(fb, WithStore(nil, "ignored"))
+	runSequence(t, nilStore, fb.sp)
+
+	if got, want := snap(nilStore), snap(base); !reflect.DeepEqual(got, want) {
+		t.Fatalf("nil store diverged:\n got %+v\nwant %+v", got, want)
+	}
+}
+
+func TestWithoutCacheDisablesStore(t *testing.T) {
+	st := storeAt(t)
+	f := newFake(t)
+	s := variant(f.sp, 32, 2)
+	st.Put(testPrefix+s.Key(), 0.125) // would hit if the store were consulted
+
+	e := New(f, WithStore(st, testPrefix), WithoutCache())
+	ms, err := e.Measure(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ms == 0.125 {
+		t.Fatal("uncached engine served a store hit")
+	}
+	if n := f.callCount(s); n != 1 {
+		t.Fatalf("objective calls = %d", n)
+	}
+	if est := e.Stats(); est.StoreHits != 0 || est.StoreMisses != 0 {
+		t.Fatalf("uncached engine touched the store: %+v", est)
+	}
+	// And it must not publish either: raw measurement counts are the point.
+	if _, ok := st.Get(testPrefix + variant(f.sp, 48, 3).Key()); ok {
+		t.Fatal("unexpected key in store")
+	}
+	if _, err := e.Measure(variant(f.sp, 48, 3)); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := st.Get(testPrefix + variant(f.sp, 48, 3).Key()); ok {
+		t.Fatal("uncached engine published to the store")
+	}
+}
+
+// seedStore pre-loads a fresh store with the same deterministic content for
+// every determinism leg: every third valid batch input, at times cheaper
+// than the objective would report.
+func seedStore(t *testing.T, in []space.Setting) *store.Store {
+	t.Helper()
+	st := storeAt(t)
+	for i, s := range in {
+		if i%3 == 0 && s[space.TBX] != 999 {
+			st.Put(testPrefix+s.Key(), 0.25+float64(i)/100)
+		}
+	}
+	return st
+}
+
+// TestStoreBatchDeterministicAcrossWorkers is the integration's determinism
+// pin: identical store content + identical inputs must produce byte-identical
+// results, stats (store counters included) and trajectories at any worker
+// count.
+func TestStoreBatchDeterministicAcrossWorkers(t *testing.T) {
+	fRef := newFake(t)
+	in := batchInputs(fRef.sp)
+	ref := New(fRef, WithWorkers(1), WithStore(seedStore(t, in), testPrefix))
+	want := ref.MeasureBatch(in)
+	wantSnap := snap(ref)
+	if wantSnap.stats.StoreHits == 0 {
+		t.Fatalf("seeding produced no store hits: %+v", wantSnap.stats)
+	}
+
+	for _, workers := range []int{1, 4, 16, 64} {
+		f := newFake(t)
+		e := New(f, WithWorkers(workers), WithStore(seedStore(t, in), testPrefix))
+		out := e.MeasureBatch(in)
+		for i := range in {
+			if out[i].MS != want[i].MS || (out[i].Err == nil) != (want[i].Err == nil) {
+				t.Fatalf("workers=%d item %d: %v/%v want %v/%v",
+					workers, i, out[i].MS, out[i].Err, want[i].MS, want[i].Err)
+			}
+		}
+		if got := snap(e); !reflect.DeepEqual(got, wantSnap) {
+			t.Fatalf("workers=%d diverged:\n got %+v\nwant %+v", workers, got, wantSnap)
+		}
+	}
+}
+
+// TestStoreHitsJournalAndReplayWithoutStore pins resume independence: a
+// store hit is journaled as its own episode class, so a resumed run replays
+// it — identical stats, zero objective calls — even when the store is gone
+// or has since changed.
+func TestStoreHitsJournalAndReplayWithoutStore(t *testing.T) {
+	st := storeAt(t)
+	f := newFake(t)
+	sp := f.sp
+	hit, live := variant(sp, 8, 1), variant(sp, 24, 2)
+	st.Put(testPrefix+hit.Key(), 0.5)
+
+	j, path := journalAt(t, "fp")
+	e := New(f, WithJournal(j), WithStore(st, testPrefix), WithCost(CostModel{CompileS: 1}))
+	if ms, err := e.Measure(hit); err != nil || ms != 0.5 {
+		t.Fatalf("store hit = %v/%v", ms, err)
+	}
+	if _, err := e.Measure(live); err != nil {
+		t.Fatal(err)
+	}
+	want := snap(e)
+	if want.stats.StoreHits != 1 || want.stats.StoreMisses != 1 {
+		t.Fatalf("original stats = %+v", want.stats)
+	}
+	j.Close()
+
+	// Resume WITHOUT any store: the replayed ClassStore episode serves the
+	// recorded time; the replayed live episode still counts no store miss
+	// (no store attached).
+	j2, err := journal.Open(path, "fp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j2.Close()
+	f2 := newFake(t)
+	e2 := New(f2, WithJournal(j2), WithCost(CostModel{CompileS: 1}))
+	if ms, err := e2.Measure(hit); err != nil || ms != 0.5 {
+		t.Fatalf("replayed store hit = %v/%v", ms, err)
+	}
+	if _, err := e2.Measure(live); err != nil {
+		t.Fatal(err)
+	}
+	got := snap(e2)
+	// The miss counter tracks store consultations, which this storeless
+	// resume never makes; everything else must replay exactly.
+	want.stats.StoreMisses = 0
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("storeless resume diverged:\n got %+v\nwant %+v", got, want)
+	}
+	if n := f2.callCount(hit) + f2.callCount(live); n != 0 {
+		t.Fatalf("resume re-measured %d times", n)
+	}
+
+	// Resume WITH a store whose content has since improved: the journal wins
+	// — replay must never re-probe, or resumed runs would depend on store
+	// growth.
+	st.Put(testPrefix+hit.Key(), 0.0625)
+	j3, err := journal.Open(path, "fp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j3.Close()
+	f3 := newFake(t)
+	e3 := New(f3, WithJournal(j3), WithStore(st, testPrefix), WithCost(CostModel{CompileS: 1}))
+	if ms, err := e3.Measure(hit); err != nil || ms != 0.5 {
+		t.Fatalf("replay re-probed a grown store: %v/%v want the journaled 0.5", ms, err)
+	}
+}
+
+// TestStorePublishBackfillsOnReplay: a replayed success publishes to a store
+// attached after the original run, so resume backfills shared state.
+func TestStorePublishBackfillsOnReplay(t *testing.T) {
+	j, path := journalAt(t, "fp")
+	f := newFake(t)
+	sp := f.sp
+	s := variant(sp, 12, 3)
+	e := New(f, WithJournal(j))
+	ms, err := e.Measure(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j.Close()
+
+	st := storeAt(t)
+	j2, err := journal.Open(path, "fp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j2.Close()
+	e2 := New(newFake(t), WithJournal(j2), WithStore(st, testPrefix))
+	if _, err := e2.Measure(s); err != nil {
+		t.Fatal(err)
+	}
+	if got, ok := st.Get(testPrefix + s.Key()); !ok || got != ms {
+		t.Fatalf("replayed success not published: %v/%v want %v", got, ok, ms)
+	}
+}

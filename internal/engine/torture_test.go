@@ -25,6 +25,7 @@ import (
 	"repro/internal/sim"
 	"repro/internal/space"
 	"repro/internal/stencil"
+	"repro/internal/store"
 )
 
 // tortureWorkers is the worker matrix every leg must agree across. 64 is
@@ -220,6 +221,81 @@ func TestTortureJournalReplayMatrix(t *testing.T) {
 			}
 			if eng2.ReplayPending() != 0 {
 				t.Fatalf("workers=%d left %d episodes unreplayed", w, eng2.ReplayPending())
+			}
+		})
+	}
+}
+
+// seedTortureStore builds a fresh store pre-loaded with the same
+// deterministic content for every matrix leg: every fourth unique key from
+// the batch, at times faster than the simulator reports, so store hits are
+// visible in the fingerprint (best/trajectory) and not just in the counters.
+func seedTortureStore(t testing.TB, in []space.Setting, prefix string) *store.Store {
+	t.Helper()
+	st, err := store.Open(filepath.Join(t.TempDir(), "store"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = st.Close() })
+	seen := make(map[string]bool)
+	for _, s := range in {
+		k := s.Key()
+		if seen[k] {
+			continue
+		}
+		seen[k] = true
+		if len(seen)%4 == 0 {
+			st.Put(prefix+k, 0.001+float64(len(seen))/1000)
+		}
+	}
+	return st
+}
+
+// TestTortureSharedStoreMatrix is the cross-campaign store under the same
+// hostility: duplicate-heavy batch, every fault kind firing, a pre-seeded
+// shared store on the measurement path, workers 1/4/16/64 — and the full
+// outcome fingerprint (store counters included in stats) must stay
+// byte-identical to the workers=1 reference. Each leg gets its own
+// identically-seeded store: the run publishes back, so sharing one store
+// across legs would let earlier legs warm later ones.
+func TestTortureSharedStoreMatrix(t *testing.T) {
+	sp, s := tortureSpace(t)
+	in := duplicateHeavyBatch(sp, 40, 20260808)
+	prefix := store.Prefix("arch:torture", "shape:torture")
+
+	for _, faulty := range []bool{false, true} {
+		name := "clean"
+		if faulty {
+			name = "faults"
+		}
+		t.Run(name, func(t *testing.T) {
+			run := func(workers int) (string, int) {
+				var obj sim.Objective = s
+				if faulty {
+					obj = faults.New(s, hostileTortureConfig())
+				}
+				st := seedTortureStore(t, in, prefix)
+				eng := engine.New(obj,
+					engine.WithWorkers(workers),
+					engine.WithSeed(7),
+					engine.WithMeasureTimeout(20*time.Millisecond),
+					engine.WithQuarantine(2),
+					engine.WithStore(st, prefix),
+				)
+				res := eng.MeasureBatch(in)
+				return fingerprint(res, eng.Stats(), eng.Trajectory(), eng.Quarantined()), eng.Stats().StoreHits
+			}
+
+			ref, hits := run(1)
+			if hits == 0 {
+				t.Fatal("seeded store produced no hits; the leg tests nothing")
+			}
+			for _, w := range tortureWorkers[1:] {
+				got, _ := run(w)
+				if got != ref {
+					t.Fatalf("workers=%d fingerprint diverged from workers=1:\n--- got ---\n%s\n--- want ---\n%s",
+						w, got, ref)
+				}
 			}
 		})
 	}

@@ -36,6 +36,13 @@ type Options struct {
 	CVThreshold    float64 // stop when CV(top-n fitness) < threshold
 	MaxGenerations int     // hard cap (safety net, not the intended stop)
 	Seed           int64
+	// Seeds are candidate indices injected into the initial generation
+	// (warm-starting from a prior campaign's bests): seed i overwrites the
+	// i-th randomly-initialized individual, spread across sub-populations.
+	// Out-of-range indices are ignored; an empty slice leaves the classic
+	// random initialization byte-identical. Seeds are ignored on the
+	// exhaustive path, which evaluates every index anyway.
+	Seeds []int
 }
 
 // DefaultOptions returns the paper's GA configuration.
@@ -125,6 +132,21 @@ func evolveIslands(count int, m *memo, comm *mpi.Comm, opt Options) int {
 			pop[i].gene = uint64(rng.Intn(count))
 		}
 		states[r] = &popState{pop: pop, rng: rng}
+	}
+
+	// Warm-start injection: seed i replaces the (i/ranks)-th individual of
+	// sub-population i%ranks, after the random draws above — so the RNG
+	// stream (and therefore every later breeding decision) is byte-identical
+	// whether or not seeds are present.
+	for i, s := range opt.Seeds {
+		if s < 0 || s >= count {
+			continue
+		}
+		slot := i / len(states)
+		if slot >= opt.PopSize {
+			break
+		}
+		states[i%len(states)].pop[slot].gene = uint64(s)
 	}
 
 	evalPop := func(st *popState) {

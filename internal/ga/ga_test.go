@@ -182,3 +182,97 @@ func BenchmarkMinimize4096(b *testing.B) {
 		_ = Minimize(4096, valley(1234), opt)
 	}
 }
+
+// recordingEval wraps an objective and records the exact probe sequence —
+// meaningful only with SubPopulations == 1, where evaluation order is
+// deterministic.
+func recordingEval(f func(int) float64) (func(int) float64, *[]int) {
+	var seq []int
+	return func(i int) float64 {
+		seq = append(seq, i)
+		return f(i)
+	}, &seq
+}
+
+// TestSeedsEmptyIsByteIdentical pins the warm-start no-op contract: no
+// seeds, an empty slice and all-out-of-range seeds must leave the classic
+// run untouched — same result AND same probe sequence.
+func TestSeedsEmptyIsByteIdentical(t *testing.T) {
+	base := DefaultOptions()
+	base.SubPopulations = 1
+	base.PopSize = 32
+	base.MaxGenerations = 40
+
+	run := func(seeds []int) (Result, []int) {
+		opt := base
+		opt.Seeds = seeds
+		eval, seq := recordingEval(valley(1234))
+		res := Minimize(4096, eval, opt)
+		return res, *seq
+	}
+
+	wantRes, wantSeq := run(nil)
+	for _, seeds := range [][]int{{}, {-1, 4096, 99999}} {
+		gotRes, gotSeq := run(seeds)
+		if gotRes != wantRes {
+			t.Fatalf("seeds %v changed the result: %+v vs %+v", seeds, gotRes, wantRes)
+		}
+		if len(gotSeq) != len(wantSeq) {
+			t.Fatalf("seeds %v changed probe count: %d vs %d", seeds, len(gotSeq), len(wantSeq))
+		}
+		for i := range gotSeq {
+			if gotSeq[i] != wantSeq[i] {
+				t.Fatalf("seeds %v changed probe %d: %d vs %d", seeds, i, gotSeq[i], wantSeq[i])
+			}
+		}
+	}
+}
+
+// TestSeedsInjectNeedle: on a needle-in-a-haystack objective the random GA
+// has no gradient to follow, but a seeded needle must be found — proof the
+// seed genes actually enter the initial population.
+func TestSeedsInjectNeedle(t *testing.T) {
+	const needle = 3333
+	eval := func(i int) float64 {
+		if i == needle {
+			return 0
+		}
+		return 5
+	}
+	opt := DefaultOptions()
+	opt.MaxGenerations = 30
+	opt.Seeds = []int{needle}
+	res := Minimize(1<<16, eval, opt)
+	if res.Exhaustive {
+		t.Fatal("range too small; test needs the GA path")
+	}
+	if res.BestIndex != needle || res.BestValue != 0 {
+		t.Fatalf("seeded needle not found: %+v", res)
+	}
+
+	// Determinism with seeds: the same run twice is identical.
+	if again := Minimize(1<<16, eval, opt); again != res {
+		t.Fatalf("seeded run not deterministic: %+v vs %+v", again, res)
+	}
+}
+
+// TestSeedsSpreadAcrossIslands: more seeds than sub-populations must land in
+// distinct slots, not overwrite one another.
+func TestSeedsSpreadAcrossIslands(t *testing.T) {
+	needles := []int{111, 2222, 3333, 4444}
+	eval := func(i int) float64 {
+		for rank, n := range needles {
+			if i == n {
+				return float64(rank) // needle 111 is the global optimum
+			}
+		}
+		return 50
+	}
+	opt := DefaultOptions()
+	opt.MaxGenerations = 30
+	opt.Seeds = needles
+	res := Minimize(1<<16, eval, opt)
+	if res.BestIndex != needles[0] || res.BestValue != 0 {
+		t.Fatalf("best seeded needle lost: %+v", res)
+	}
+}

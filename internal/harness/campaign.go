@@ -16,6 +16,7 @@ import (
 	"repro/internal/journal"
 	"repro/internal/sim"
 	"repro/internal/space"
+	"repro/internal/store"
 )
 
 // CampaignConfig describes one resumable tuning campaign: a method racing a
@@ -63,6 +64,17 @@ type CampaignConfig struct {
 	// campaign fingerprint: admission control changes when measurements run,
 	// never what they return.
 	Wrap func(sim.Objective) sim.Objective
+	// Store, when non-nil, attaches the shared cross-campaign result store:
+	// memo-cache misses consult it before measuring (free hits, zero budget)
+	// and successful episodes publish back. Store presence never enters the
+	// fingerprint — store hits are journaled as their own episode class, so
+	// journals written with and without a store interoperate.
+	Store *store.Store
+	// WarmStart lists prior best settings seeding the search (cstuner only;
+	// other methods ignore it). It enters the fingerprint via a digest of
+	// the setting keys: warm seeds change which settings the search visits,
+	// so a journal written warm must not replay into a cold run.
+	WarmStart []space.Setting
 }
 
 // CampaignResult is the canonical outcome of one campaign: everything the
@@ -107,6 +119,18 @@ func CampaignFingerprint(fx *Fixture, cfg CampaignConfig) string {
 		fp += fmt.Sprintf("|faults=%d,%g,%d,%g,%g,%g,%g,%v,%g",
 			f.Seed, f.TransientRate, f.MaxTransientPerKey, f.PermanentRate,
 			f.NoiseFrac, f.NoiseAddMS, f.SlowRate, f.SlowDelay, f.HangRate)
+	}
+	if len(cfg.WarmStart) > 0 {
+		// Warm seeds steer which settings the search measures, so they are
+		// campaign identity; digesting the keys keeps the fingerprint short.
+		h := uint64(1469598103934665603)
+		for _, w := range cfg.WarmStart {
+			for _, b := range []byte(w.Key() + "\n") {
+				h ^= uint64(b)
+				h *= 1099511628211
+			}
+		}
+		fp += fmt.Sprintf("|warm=%d,%016x", len(cfg.WarmStart), h)
 	}
 	return fp
 }
@@ -170,6 +194,15 @@ func PrepareCampaign(fx *Fixture, cfg CampaignConfig) (*CampaignRun, error) {
 	}
 	if cfg.Quarantine > 0 {
 		opts = append(opts, engine.WithQuarantine(cfg.Quarantine))
+	}
+	if cfg.Store != nil {
+		opts = append(opts, engine.WithStore(cfg.Store,
+			store.Prefix(store.ArchFingerprint(fx.Sim.Arch), store.ShapeFingerprint(fx.Stencil))))
+	}
+	if len(cfg.WarmStart) > 0 {
+		if ct, ok := t.(*cstuner.Tuner); ok {
+			ct.Cfg.WarmStart = cfg.WarmStart
+		}
 	}
 	var jr *journal.Journal
 	if cfg.JournalPath != "" {

@@ -82,6 +82,12 @@ const (
 	ClassTransient = "transient"
 	ClassPermanent = "permanent"
 	ClassBudget    = "budget"
+	// ClassStore marks an episode served from the cross-campaign result
+	// store instead of the objective: MS/MSSum are valid, but the episode
+	// charged zero virtual cost. Journaling the hit (rather than the probe)
+	// makes resume independent of how the shared store grew since the
+	// original run: replay re-serves the recorded hit and never re-probes.
+	ClassStore = "store"
 )
 
 // Header identifies the campaign a journal belongs to.
@@ -144,6 +150,9 @@ type Summary struct {
 	Quarantined     int      `json:"quarantined"`
 	QuarantineSkips int      `json:"quarantine_skips"`
 	Canceled        int      `json:"canceled"`
+	StoreHits       int      `json:"store_hits,omitempty"`
+	StoreMisses     int      `json:"store_misses,omitempty"`
+	WarmStartSeeds  int      `json:"warm_start_seeds,omitempty"`
 	BestKey         string   `json:"best_key,omitempty"`
 	BestMS          float64  `json:"best_ms,omitempty"`
 	Quarantine      []string `json:"quarantine,omitempty"`

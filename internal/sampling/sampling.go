@@ -186,6 +186,57 @@ func lessTuple(a, b []int) bool {
 	return false
 }
 
+// Include appends settings absent from the sampled space (deduplicated by
+// key, in the given order) and re-indexes the gene ranges. Warm-started
+// campaigns use it to guarantee a prior campaign's best settings are
+// reachable by the GA even when the model-based filter would have dropped
+// them.
+func (s *Sampled) Include(settings []space.Setting) int {
+	if len(settings) == 0 {
+		return 0
+	}
+	seen := make(map[string]struct{}, len(s.Settings))
+	for _, set := range s.Settings {
+		seen[set.Key()] = struct{}{}
+	}
+	added := 0
+	for _, set := range settings {
+		k := set.Key()
+		if _, dup := seen[k]; dup {
+			continue
+		}
+		seen[k] = struct{}{}
+		s.Settings = append(s.Settings, set.Clone())
+		added++
+	}
+	if added > 0 {
+		s.reindex()
+	}
+	return added
+}
+
+// TupleIndex returns the gene index of set's group-gi value tuple in the
+// re-indexed range, or -1 when the tuple is not part of the sampled space.
+func (s *Sampled) TupleIndex(set space.Setting, gi int) int {
+	if gi < 0 || gi >= len(s.Groups) {
+		return -1
+	}
+	g := s.Groups[gi]
+	tuple := make([]int, len(g))
+	for i, p := range g {
+		if p < 0 || p >= len(set) {
+			return -1
+		}
+		tuple[i] = set[p]
+	}
+	tuples := s.Values[gi]
+	idx := sort.Search(len(tuples), func(k int) bool { return !lessTuple(tuples[k], tuple) })
+	if idx < len(tuples) && !lessTuple(tuple, tuples[idx]) {
+		return idx
+	}
+	return -1
+}
+
 // Apply writes group gi's tupleIdx-th value tuple into the setting in place.
 func (s *Sampled) Apply(set space.Setting, gi, tupleIdx int) error {
 	if gi < 0 || gi >= len(s.Groups) {

@@ -182,3 +182,93 @@ func TestBest(t *testing.T) {
 		t.Fatal("Best aliases stored setting")
 	}
 }
+
+// TestIncludeAddsMissingSettings: Include must append exactly the settings
+// whose keys are absent, clone them, and re-index so every included setting
+// becomes reachable through the gene ranges.
+func TestIncludeAddsMissingSettings(t *testing.T) {
+	ds, sp, groups, sel, models, _ := pipelineTo(t)
+	rng := rand.New(rand.NewSource(5))
+	s, err := Build(ds, sp, groups, sel, models, rng, Config{Ratio: 0.1, PoolSize: 400})
+	if err != nil {
+		t.Fatal(err)
+	}
+	existing := s.Settings[0].Clone()
+	fresh := sp.Default()
+	// Nudge the default until its key is absent from the sampled set.
+	present := map[string]bool{}
+	for _, set := range s.Settings {
+		present[set.Key()] = true
+	}
+	r := rand.New(rand.NewSource(99))
+	for present[fresh.Key()] {
+		fresh = sp.Random(r)
+	}
+
+	before := len(s.Settings)
+	added := s.Include([]space.Setting{existing, fresh, fresh.Clone()})
+	if added != 1 {
+		t.Fatalf("Include added %d, want 1 (dup of existing and self-dup skipped)", added)
+	}
+	if len(s.Settings) != before+1 {
+		t.Fatalf("settings grew by %d", len(s.Settings)-before)
+	}
+	// The included setting is cloned, not aliased.
+	s.Settings[len(s.Settings)-1][0]++
+	if s.Settings[len(s.Settings)-1][0] == fresh[0] {
+		t.Fatal("Include aliased the caller's setting")
+	}
+	s.Settings[len(s.Settings)-1][0]--
+
+	// Re-indexing makes every group tuple of the included setting reachable:
+	// TupleIndex finds it and Apply round-trips it.
+	for gi := range s.Groups {
+		idx := s.TupleIndex(fresh, gi)
+		if idx < 0 {
+			t.Fatalf("group %d tuple of included setting not indexed", gi)
+		}
+		probe := sp.Default()
+		if err := s.Apply(probe, gi, idx); err != nil {
+			t.Fatal(err)
+		}
+		for _, p := range s.Groups[gi] {
+			if probe[p] != fresh[p] {
+				t.Fatalf("group %d round-trip mismatch at param %d", gi, p)
+			}
+		}
+	}
+
+	if s.Include(nil) != 0 {
+		t.Fatal("Include(nil) must be a no-op")
+	}
+}
+
+// TestTupleIndexMissAndBounds: absent tuples and out-of-range groups answer
+// -1, never panic.
+func TestTupleIndexMissAndBounds(t *testing.T) {
+	ds, sp, groups, sel, models, _ := pipelineTo(t)
+	rng := rand.New(rand.NewSource(5))
+	s, err := Build(ds, sp, groups, sel, models, rng, Config{Ratio: 0.1, PoolSize: 400})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := s.TupleIndex(sp.Default(), -1); got != -1 {
+		t.Fatalf("gi=-1 -> %d", got)
+	}
+	if got := s.TupleIndex(sp.Default(), len(s.Groups)); got != -1 {
+		t.Fatalf("gi out of range -> %d", got)
+	}
+	if got := s.TupleIndex(space.Setting{1}, 0); got != -1 {
+		t.Fatalf("short setting -> %d", got)
+	}
+	// A tuple no sampled setting carries: values outside any real range.
+	weird := sp.Default()
+	for i := range weird {
+		weird[i] = 1 << 20
+	}
+	for gi := range s.Groups {
+		if got := s.TupleIndex(weird, gi); got != -1 {
+			t.Fatalf("absent tuple indexed at group %d: %d", gi, got)
+		}
+	}
+}

@@ -29,6 +29,7 @@ func New(reg *campaign.Registry) *Server {
 	s.mux.HandleFunc("POST /v1/campaigns/{id}/pause", s.handlePause)
 	s.mux.HandleFunc("POST /v1/campaigns/{id}/resume", s.handleResume)
 	s.mux.HandleFunc("GET /v1/tenants", s.handleTenants)
+	s.mux.HandleFunc("GET /v1/store", s.handleStore)
 	s.mux.HandleFunc("GET /v1/healthz", s.handleHealth)
 	return s
 }
@@ -133,6 +134,11 @@ func (s *Server) handleTenants(w http.ResponseWriter, _ *http.Request) {
 		snaps = []TenantLedger{}
 	}
 	writeJSON(w, http.StatusOK, TenantsResponse{Tenants: snaps})
+}
+
+func (s *Server) handleStore(w http.ResponseWriter, _ *http.Request) {
+	stats, enabled := s.reg.StoreStats()
+	writeJSON(w, http.StatusOK, StoreResponse{Enabled: enabled, Stats: stats})
 }
 
 func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {

@@ -1,0 +1,53 @@
+package service
+
+import (
+	"net/http"
+	"testing"
+
+	"repro/internal/campaign"
+)
+
+// TestStoreEndpointDisabled: without EnableStore the endpoint still answers,
+// reporting the store as disabled with zeroed counters.
+func TestStoreEndpointDisabled(t *testing.T) {
+	ts, _ := newTestServer(t, campaign.Options{Slots: 1, DisableAutostart: true})
+	var out StoreResponse
+	code, _ := doJSON(t, http.MethodGet, ts.URL+"/v1/store", nil, &out)
+	if code != http.StatusOK {
+		t.Fatalf("status = %d", code)
+	}
+	if out.Enabled || out.Stats.Keys != 0 {
+		t.Fatalf("disabled store reported %+v", out)
+	}
+}
+
+// TestStoreEndpointCounters: with the store enabled, completed campaigns
+// populate it and both the store endpoint and the campaign poll expose the
+// traffic counters.
+func TestStoreEndpointCounters(t *testing.T) {
+	ts, _ := newTestServer(t, campaign.Options{Slots: 2, EnableStore: true})
+
+	first := submit(t, ts, testSpec("acme", 5))
+	st1 := pollUntil(t, ts, first.ID, campaign.StateCompleted)
+	if st1.StoreMisses == 0 {
+		t.Fatalf("cold campaign poll carries no store misses: %+v", st1)
+	}
+
+	second := submit(t, ts, testSpec("acme", 5)) // identical workload: hits
+	st2 := pollUntil(t, ts, second.ID, campaign.StateCompleted)
+	if st2.StoreHits == 0 {
+		t.Fatalf("second campaign poll carries no store hits: %+v", st2)
+	}
+
+	var out StoreResponse
+	code, _ := doJSON(t, http.MethodGet, ts.URL+"/v1/store", nil, &out)
+	if code != http.StatusOK {
+		t.Fatalf("status = %d", code)
+	}
+	if !out.Enabled {
+		t.Fatal("enabled store reported disabled")
+	}
+	if out.Stats.Keys == 0 || out.Stats.WriteErr != "" {
+		t.Fatalf("store stats = %+v", out.Stats)
+	}
+}

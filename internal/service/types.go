@@ -5,7 +5,10 @@
 // contract and the on-disk contract cannot drift apart.
 package service
 
-import "repro/internal/campaign"
+import (
+	"repro/internal/campaign"
+	"repro/internal/store"
+)
 
 // SubmitRequest is the POST /v1/campaigns body: a campaign spec. The
 // fingerprint field is server-assigned and ignored on input.
@@ -32,6 +35,13 @@ type TenantLedger = campaign.LedgerSnapshot
 // TenantsResponse is the GET /v1/tenants body, sorted by tenant name.
 type TenantsResponse struct {
 	Tenants []TenantLedger `json:"tenants"`
+}
+
+// StoreResponse is the GET /v1/store body: whether the registry runs a
+// shared result store and, if so, its live counters.
+type StoreResponse struct {
+	Enabled bool        `json:"enabled"`
+	Stats   store.Stats `json:"stats"`
 }
 
 // ErrorResponse is the uniform error body for every non-2xx status.

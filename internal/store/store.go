@@ -1,0 +1,665 @@
+// Package store is the persistent cross-campaign result store: an
+// append-only measurement database shared by every campaign under one
+// registry root. csTuner's premise is that measurements are expensive;
+// today's campaigns nevertheless start cold even when another campaign
+// already paid for the same (architecture, stencil shape, setting) point.
+// The store makes those points durable and shareable: an engine consults it
+// on a memo-cache miss before measuring, and publishes every successful
+// episode back, so overlapping campaigns converge to measuring each distinct
+// point once per fleet instead of once per run.
+//
+// On-disk format. The store is a directory of segment files (*.seg), each a
+// sequence of CRC-framed records exactly like the campaign journal:
+//
+//	[u32le payload length][u32le CRC32C of payload][JSON payload]
+//
+// The first frame is a header {magic "csstore", version}; every further
+// frame is one measurement record {composite key, scored ms}. Each process
+// appends only to its own segment (created O_EXCL, named by pid), so
+// concurrent campaigns sharing one directory never interleave writes into
+// one file. Readers load every segment at Open and merge records by minimum
+// ms per key — a commutative merge, so segment load order cannot matter.
+//
+// Unlike the journal the store is a cache, not a ledger: appends are
+// buffered and not fsync'd (a crash loses at most the unflushed tail of
+// *this process's* records — they are re-measurable), torn tails are
+// skipped without truncation (the tail may be a live writer's in-flight
+// frame), and a segment whose header frame cannot be trusted is quarantined
+// to <name>.bad and skipped rather than failing Open.
+//
+// The in-memory index reuses the engine cache's lock-free read-path design
+// (internal/engine/cache.go, DESIGN.md §12): 64 shards, each publishing an
+// immutable read map through an atomic pointer with a mutex-guarded dirty
+// overlay and geometric promotion. Get/Contains on the hot path take zero
+// locks, so a cross-campaign hit costs about what an engine cache hit costs
+// (pinned by BenchmarkStoreLookupHit).
+package store
+
+import (
+	"bufio"
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+const (
+	// Magic identifies a csTuner result-store segment.
+	Magic = "csstore"
+	// Version is the current record-format version.
+	Version = 1
+
+	// maxPayload bounds a single frame; records are tiny, so anything large
+	// is a torn or flipped length prefix.
+	maxPayload = 1 << 20
+
+	frameHeaderLen = 8
+
+	// flushEvery bounds how many buffered records may sit in the bufio
+	// writer before a flush makes them visible to concurrent readers.
+	flushEvery = 32
+
+	// storeShards is the index stripe count, matching the engine cache.
+	storeShards = 64
+)
+
+// ErrClosed is returned by writes on a closed store.
+var ErrClosed = errors.New("store: closed")
+
+// Header identifies a segment file.
+type Header struct {
+	Magic   string `json:"magic"`
+	Version int    `json:"version"`
+}
+
+// Record is one durable measurement: the composite key (arch fingerprint,
+// shape fingerprint and setting key joined by '|' — see Key) and the scored
+// kernel time.
+type Record struct {
+	Key string  `json:"key"`
+	MS  float64 `json:"ms"`
+}
+
+// record is the tagged union every frame payload decodes into.
+type record struct {
+	T   string  `json:"t"` // "hdr" or "rec"
+	Hdr *Header `json:"hdr,omitempty"`
+	Rec *Record `json:"rec,omitempty"`
+}
+
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// readMap is one index shard's immutable published snapshot.
+type readMap struct {
+	m map[string]float64
+	// amended reports that the dirty overlay may hold keys absent from m.
+	amended bool
+}
+
+type shard struct {
+	read  atomic.Pointer[readMap]
+	mu    sync.Mutex
+	dirty map[string]float64
+}
+
+// get returns the stored minimum for key. The fast path — key present, or a
+// definitive miss on an unamended snapshot — takes no locks.
+func (sh *shard) get(key string) (float64, bool) {
+	r := sh.read.Load()
+	if ms, ok := r.m[key]; ok {
+		return ms, true
+	}
+	if !r.amended {
+		return 0, false
+	}
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	r = sh.read.Load()
+	if ms, ok := r.m[key]; ok {
+		return ms, true
+	}
+	ms, ok := sh.dirty[key]
+	return ms, ok
+}
+
+// getBytes is get for a stack-rendered key; the string conversions sit in
+// map index expressions, which the compiler serves without allocating.
+func (sh *shard) getBytes(key []byte) (float64, bool) {
+	r := sh.read.Load()
+	if ms, ok := r.m[string(key)]; ok {
+		return ms, true
+	}
+	if !r.amended {
+		return 0, false
+	}
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	r = sh.read.Load()
+	if ms, ok := r.m[string(key)]; ok {
+		return ms, true
+	}
+	ms, ok := sh.dirty[string(key)]
+	return ms, ok
+}
+
+// insertMin merges (key, ms) into the shard keeping the minimum, and
+// reports whether the shard changed (new key or improvement). The merge is
+// commutative and idempotent, which is what makes multi-segment loads
+// order-independent.
+func (sh *shard) insertMin(key string, ms float64) bool {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	r := sh.read.Load()
+	if old, ok := sh.dirty[key]; ok {
+		if old <= ms {
+			return false
+		}
+	} else if old, ok := r.m[key]; ok && old <= ms {
+		return false
+	}
+	if sh.dirty == nil {
+		sh.dirty = make(map[string]float64)
+	}
+	sh.dirty[key] = ms
+	if len(sh.dirty) >= 1+len(r.m)/2 {
+		// Promote: merge read+dirty into a fresh immutable snapshot; the
+		// geometric threshold keeps total copy work O(n) amortized.
+		nm := make(map[string]float64, len(r.m)+len(sh.dirty))
+		for k, v := range r.m {
+			nm[k] = v
+		}
+		for k, v := range sh.dirty {
+			nm[k] = v
+		}
+		sh.read.Store(&readMap{m: nm})
+		sh.dirty = nil
+		return true
+	}
+	if !r.amended {
+		sh.read.Store(&readMap{m: r.m, amended: true})
+	}
+	return true
+}
+
+// snapshotInto appends every (key, ms) the shard holds into dst.
+func (sh *shard) snapshotInto(dst map[string]float64) {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	r := sh.read.Load()
+	for k, v := range r.m {
+		if d, ok := sh.dirty[k]; ok {
+			dst[k] = d
+			continue
+		}
+		dst[k] = v
+	}
+	for k, v := range sh.dirty {
+		dst[k] = v
+	}
+}
+
+// Stats is the store's observability snapshot (the /v1/store endpoint body).
+type Stats struct {
+	// Keys is the number of distinct composite keys indexed.
+	Keys int `json:"keys"`
+	// Segments is the number of segment files loaded or created.
+	Segments int `json:"segments"`
+	// LoadedRecords counts records read from disk at Open.
+	LoadedRecords int `json:"loaded_records"`
+	// AppendedRecords counts records this process wrote to its own segment.
+	AppendedRecords int `json:"appended_records"`
+	// SkippedRecords counts records dropped at Open from torn or corrupt
+	// segment tails (a live writer's in-flight frame, or real damage).
+	SkippedRecords int `json:"skipped_records,omitempty"`
+	// Quarantined lists segment files renamed to .bad at Open.
+	Quarantined []string `json:"quarantined,omitempty"`
+	// WriteErr is the sticky append failure, if any; the in-memory index
+	// keeps serving hits after a write failure.
+	WriteErr string `json:"write_err,omitempty"`
+}
+
+// Store is one shared result database. All methods are safe for concurrent
+// use; Get/GetBytes/Contains are lock-free on the hot path.
+type Store struct {
+	dir    string
+	shards [storeShards]shard
+
+	mu       sync.Mutex
+	f        *os.File
+	w        *bufio.Writer
+	segPath  string
+	pending  int
+	appended int
+	ownMin   map[string]float64 // this process's published minima (compaction source)
+	writeErr error
+	closed   bool
+
+	segments    int
+	loaded      int
+	skipped     int
+	quarantined []string
+}
+
+// Open loads (creating if needed) the store directory: every *.seg segment
+// is scanned, records min-merge into the index, and untrustable segments
+// are quarantined to .bad. Open never fails on segment content — only on
+// filesystem errors for the directory itself.
+func Open(dir string) (*Store, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("store: open: %w", err)
+	}
+	s := &Store{dir: dir, ownMin: map[string]float64{}}
+	empty := &readMap{m: map[string]float64{}}
+	for i := range s.shards {
+		// Shards may share one empty snapshot: readMaps are immutable.
+		s.shards[i].read.Store(empty)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("store: scan: %w", err)
+	}
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".seg") {
+			continue
+		}
+		s.loadSegment(filepath.Join(dir, e.Name()))
+	}
+	return s, nil
+}
+
+// loadSegment merges one segment file into the index. An empty file is a
+// concurrent writer's just-created segment and is skipped silently; a
+// non-empty file whose header frame cannot be trusted is quarantined; a
+// torn or corrupt tail ends the scan without truncating the file (it may be
+// a live writer's partially-flushed frame).
+func (s *Store) loadSegment(path string) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		s.quarantine(path, fmt.Sprintf("unreadable: %v", err))
+		return
+	}
+	if len(data) == 0 {
+		return
+	}
+	payload, next, err := readFrame(data, 0)
+	if err != nil {
+		s.quarantine(path, fmt.Sprintf("unreadable header frame: %v", err))
+		return
+	}
+	var hr record
+	if err := json.Unmarshal(payload, &hr); err != nil || hr.T != "hdr" || hr.Hdr == nil ||
+		hr.Hdr.Magic != Magic || hr.Hdr.Version > Version || hr.Hdr.Version < 1 {
+		s.quarantine(path, "first frame is not a trusted store header")
+		return
+	}
+	s.segments++
+	for next < len(data) {
+		payload, n, err := readFrame(data, next)
+		if err != nil {
+			s.skipped++
+			return
+		}
+		var r record
+		if err := json.Unmarshal(payload, &r); err != nil || r.T != "rec" || r.Rec == nil || r.Rec.Key == "" {
+			s.skipped++
+			return
+		}
+		s.shardFor(r.Rec.Key).insertMin(r.Rec.Key, r.Rec.MS)
+		s.loaded++
+		next = n
+	}
+}
+
+// quarantine renames a damaged segment to <name>.bad so Open keeps working
+// and the bytes survive for post-mortem — mirroring the registry's journal
+// quarantine. A rename failure just leaves the file in place; it will be
+// re-quarantined on the next Open.
+func (s *Store) quarantine(path, reason string) {
+	bad := path + ".bad"
+	if err := os.Rename(path, bad); err != nil {
+		s.quarantined = append(s.quarantined, fmt.Sprintf("%s (rename failed: %v; %s)", filepath.Base(path), err, reason))
+		return
+	}
+	syncDir(path)
+	s.quarantined = append(s.quarantined, fmt.Sprintf("%s: %s", filepath.Base(bad), reason))
+}
+
+func (s *Store) shardFor(key string) *shard {
+	return &s.shards[keyHash(key)&(storeShards-1)]
+}
+
+// Get returns the stored minimum ms for the composite key.
+func (s *Store) Get(key string) (float64, bool) {
+	return s.shardFor(key).get(key)
+}
+
+// GetBytes is Get for a stack-rendered key: the allocation-free probe the
+// engine's measurement path uses.
+func (s *Store) GetBytes(key []byte) (float64, bool) {
+	return s.shards[keyHashBytes(key)&(storeShards-1)].getBytes(key)
+}
+
+// Contains reports whether the composite key is stored.
+func (s *Store) Contains(key string) bool {
+	_, ok := s.shardFor(key).get(key)
+	return ok
+}
+
+// Put publishes one successful measurement. The index updates first (so the
+// running process keeps its hit even if the disk misbehaves); a record is
+// appended to this process's own segment only when (key, ms) improved on
+// everything already stored, which keeps segments min-converging. Disk
+// failures are sticky and surface in Stats, never as a Put error: the store
+// is a cache, and losing its durability must not fail a campaign.
+func (s *Store) Put(key string, ms float64) {
+	if key == "" || !s.shardFor(key).insertMin(key, ms) {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed || s.writeErr != nil {
+		return
+	}
+	if old, ok := s.ownMin[key]; ok && old <= ms {
+		return
+	}
+	s.ownMin[key] = ms
+	if err := s.ensureWriterLocked(); err != nil {
+		return
+	}
+	if err := writeFrame(s.w, record{T: "rec", Rec: &Record{Key: key, MS: ms}}); err != nil {
+		s.writeErr = err
+		return
+	}
+	s.appended++
+	s.pending++
+	if s.pending >= flushEvery {
+		s.flushLocked()
+	}
+}
+
+// ensureWriterLocked lazily creates this process's own segment. Naming is
+// pid + a retry ordinal — no wall clock, no randomness — and O_EXCL makes
+// collisions (pid reuse against a stale directory) skip to the next
+// ordinal. Callers hold s.mu.
+func (s *Store) ensureWriterLocked() error {
+	if s.f != nil {
+		return nil
+	}
+	for n := 0; ; n++ {
+		path := filepath.Join(s.dir, fmt.Sprintf("seg-%d-%04d.seg", os.Getpid(), n))
+		f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_EXCL, 0o644)
+		if errors.Is(err, os.ErrExist) {
+			continue
+		}
+		if err != nil {
+			s.writeErr = fmt.Errorf("store: create segment: %w", err)
+			return s.writeErr
+		}
+		w := bufio.NewWriter(f)
+		if err := writeFrame(w, record{T: "hdr", Hdr: &Header{Magic: Magic, Version: Version}}); err == nil {
+			err = w.Flush()
+		}
+		if err != nil {
+			_ = f.Close()
+			_ = os.Remove(path)
+			s.writeErr = fmt.Errorf("store: segment header: %w", err)
+			return s.writeErr
+		}
+		s.f, s.w, s.segPath = f, w, path
+		s.segments++
+		return nil
+	}
+}
+
+// flushLocked pushes buffered records to the OS so concurrent readers (and
+// crashes) see them. No fsync: the store is a cache, and every record is
+// re-measurable. Callers hold s.mu.
+func (s *Store) flushLocked() {
+	if s.w == nil {
+		return
+	}
+	if err := s.w.Flush(); err != nil && s.writeErr == nil {
+		s.writeErr = fmt.Errorf("store: flush: %w", err)
+	}
+	s.pending = 0
+}
+
+// Flush makes every appended record visible to other processes.
+func (s *Store) Flush() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return ErrClosed
+	}
+	s.flushLocked()
+	return s.writeErr
+}
+
+// Compact rewrites this process's own segment from its current per-key
+// minima, dropping superseded records, via the temp-file + rename +
+// dir-fsync dance — atomic, and safe under concurrent campaigns because no
+// other process ever writes this segment. A store that never wrote is a
+// no-op.
+func (s *Store) Compact() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return ErrClosed
+	}
+	if s.f == nil || s.writeErr != nil {
+		return s.writeErr
+	}
+	keys := make([]string, 0, len(s.ownMin))
+	for k := range s.ownMin {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys) // deterministic segment bytes for a given history
+	tmpPath := s.segPath + ".tmp"
+	tmp, err := os.OpenFile(tmpPath, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return fmt.Errorf("store: compact temp: %w", err)
+	}
+	w := bufio.NewWriter(tmp)
+	err = writeFrame(w, record{T: "hdr", Hdr: &Header{Magic: Magic, Version: Version}})
+	for _, k := range keys {
+		if err != nil {
+			break
+		}
+		err = writeFrame(w, record{T: "rec", Rec: &Record{Key: k, MS: s.ownMin[k]}})
+	}
+	if err == nil {
+		err = w.Flush()
+	}
+	if err == nil {
+		err = tmp.Sync()
+	}
+	if err != nil {
+		_ = tmp.Close()
+		_ = os.Remove(tmpPath)
+		return fmt.Errorf("store: compact write: %w", err)
+	}
+	if err := os.Rename(tmpPath, s.segPath); err != nil {
+		_ = tmp.Close()
+		_ = os.Remove(tmpPath)
+		return fmt.Errorf("store: compact rename: %w", err)
+	}
+	syncDir(s.segPath)
+	_ = s.f.Close() // old pre-compaction handle; the rename made tmp authoritative
+	s.f, s.w, s.pending = tmp, w, 0
+	return nil
+}
+
+// Close flushes and releases this process's segment. The index stays
+// readable (lock-free probes never touch the writer state), but further
+// Puts are refused.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil
+	}
+	s.closed = true
+	s.flushLocked()
+	if s.f != nil {
+		if err := s.f.Close(); err != nil && s.writeErr == nil {
+			s.writeErr = err
+		}
+	}
+	return s.writeErr
+}
+
+// Dir returns the store's directory.
+func (s *Store) Dir() string { return s.dir }
+
+// Stats snapshots the store's counters.
+func (s *Store) Stats() Stats {
+	s.mu.Lock()
+	st := Stats{
+		Segments:        s.segments,
+		LoadedRecords:   s.loaded,
+		AppendedRecords: s.appended,
+		SkippedRecords:  s.skipped,
+		Quarantined:     append([]string(nil), s.quarantined...),
+	}
+	if s.writeErr != nil {
+		st.WriteErr = s.writeErr.Error()
+	}
+	s.mu.Unlock()
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.Lock()
+		r := sh.read.Load()
+		n := len(r.m)
+		for k := range sh.dirty {
+			if _, ok := r.m[k]; !ok {
+				n++
+			}
+		}
+		sh.mu.Unlock()
+		st.Keys += n
+	}
+	return st
+}
+
+// Entry is one stored best, with the composite key split into its parts.
+type Entry struct {
+	Arch    string
+	Shape   string
+	Setting string // the space.Setting key
+	MS      float64
+}
+
+// Best returns up to n stored entries for the given shape fingerprint,
+// lowest ms first, restricted to one arch fingerprint when arch != "".
+// Deterministic: ties break by (arch, setting key). This is the warm-start
+// query — rare, so it walks the shards under their locks.
+func (s *Store) Best(shape, arch string, n int) []Entry {
+	if n <= 0 {
+		return nil
+	}
+	all := map[string]float64{}
+	for i := range s.shards {
+		s.shards[i].snapshotInto(all)
+	}
+	out := make([]Entry, 0, n)
+	// Map order is laundered out by the full sort below (the sanctioned
+	// append-then-sort idiom).
+	for k, ms := range all {
+		a, sh, set, ok := SplitKey(k)
+		if !ok || sh != shape || (arch != "" && a != arch) {
+			continue
+		}
+		out = append(out, Entry{Arch: a, Shape: sh, Setting: set, MS: ms})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].MS != out[j].MS {
+			return out[i].MS < out[j].MS
+		}
+		if out[i].Arch != out[j].Arch {
+			return out[i].Arch < out[j].Arch
+		}
+		return out[i].Setting < out[j].Setting
+	})
+	if len(out) > n {
+		out = out[:n]
+	}
+	return out
+}
+
+// readFrame decodes the frame starting at off and returns its payload and
+// the offset of the next frame.
+func readFrame(data []byte, off int) ([]byte, int, error) {
+	if off+frameHeaderLen > len(data) {
+		return nil, 0, fmt.Errorf("short frame header at %d", off)
+	}
+	n := int(binary.LittleEndian.Uint32(data[off : off+4]))
+	sum := binary.LittleEndian.Uint32(data[off+4 : off+8])
+	if n == 0 || n > maxPayload {
+		return nil, 0, fmt.Errorf("implausible frame length %d at %d", n, off)
+	}
+	start := off + frameHeaderLen
+	if start+n > len(data) {
+		return nil, 0, fmt.Errorf("short frame payload at %d", off)
+	}
+	payload := data[start : start+n]
+	if crc32.Checksum(payload, castagnoli) != sum {
+		return nil, 0, fmt.Errorf("crc mismatch at %d", off)
+	}
+	return payload, start + n, nil
+}
+
+// writeFrame marshals and writes one frame.
+func writeFrame(w *bufio.Writer, r record) error {
+	payload, err := json.Marshal(r)
+	if err != nil {
+		return fmt.Errorf("store: marshal: %w", err)
+	}
+	var hdr [frameHeaderLen]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(hdr[4:8], crc32.Checksum(payload, castagnoli))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return fmt.Errorf("store: write: %w", err)
+	}
+	if _, err := w.Write(payload); err != nil {
+		return fmt.Errorf("store: write: %w", err)
+	}
+	return nil
+}
+
+// keyHash is a stateless FNV-1a; keyHashBytes must agree byte-for-byte so
+// stack-rendered probes select the same shard.
+func keyHash(key string) uint64 {
+	h := uint64(1469598103934665603)
+	for i := 0; i < len(key); i++ {
+		h ^= uint64(key[i])
+		h *= 1099511628211
+	}
+	return h
+}
+
+func keyHashBytes(key []byte) uint64 {
+	h := uint64(1469598103934665603)
+	for i := 0; i < len(key); i++ {
+		h ^= uint64(key[i])
+		h *= 1099511628211
+	}
+	return h
+}
+
+// syncDir fsyncs path's directory so a rename is durable; best-effort.
+func syncDir(path string) {
+	d, err := os.Open(filepath.Dir(path))
+	if err != nil {
+		return
+	}
+	_ = d.Sync()
+	_ = d.Close()
+}
