@@ -19,7 +19,15 @@
 //	POST /v1/campaigns/{id}/resume   resume a paused campaign via replay
 //	GET  /v1/tenants                 per-tenant budget ledgers
 //	GET  /v1/store                   shared result-store counters
-//	GET  /v1/healthz                 liveness
+//	GET  /v1/healthz                 liveness + per-subsystem health
+//
+// /v1/healthz always answers 200 while the process lives; the body carries
+// per-subsystem detail (store ok/degraded/disabled, campaign states,
+// directory-fsync failure counts). The daemon rides out disk trouble
+// instead of crashing: a store write failure flips the store to read-only
+// (hits keep serving, misses keep measuring), a journal failure fails only
+// its campaign, and an ENOSPC-refused submit answers 507 while every other
+// tenant keeps running.
 //
 // On SIGINT/SIGTERM the server stops accepting requests, drains in-flight
 // HTTP handlers, then closes the registry: running campaigns' contexts are
@@ -69,6 +77,12 @@ func run() error {
 	})
 	if err != nil {
 		return err
+	}
+	if h := reg.Health(); h.Degraded {
+		// Startup found the storage already limping (e.g. a store segment
+		// could not be created). Serve anyway — degradation is visible in
+		// /v1/healthz — but say so where an operator tailing logs will look.
+		fmt.Fprintf(os.Stderr, "cstunerd: warning: starting degraded (store=%s dir_sync_errs=%d)\n", h.Store, h.DirSyncErrs)
 	}
 
 	srv := &http.Server{

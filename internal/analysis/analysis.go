@@ -13,6 +13,10 @@
 //     calls (an explicit `_ =` is the visible opt-out);
 //   - lockcall: no objective measurements or user callbacks invoked while
 //     an engine mutex is held;
+//   - rawfs: no direct os/ioutil filesystem calls in the durable-storage
+//     packages (internal/journal, internal/store, internal/campaign) —
+//     every disk touch goes through the internal/vfs seam so the chaos
+//     walker can inject faults at it;
 //   - directive: every //cstlint:allow annotation is well-formed, names a
 //     real analyzer, and still suppresses something.
 //
@@ -146,5 +150,5 @@ func hasMethod(t types.Type, name string) bool {
 // validator is not in the list: it runs inside the driver, after
 // suppression, because it must observe which allows were used.
 func DefaultAnalyzers() []*Analyzer {
-	return []*Analyzer{NoDeterm, MapOrder, ErrDrop, LockCall}
+	return []*Analyzer{NoDeterm, MapOrder, ErrDrop, LockCall, RawFS}
 }

@@ -66,7 +66,7 @@ func collectWants(t *testing.T, root string) []*expectation {
 // and requires an exact match between findings and // want expectations: an
 // unexpected finding fails, and so does an expectation nothing satisfied.
 func TestAnalyzerFixtures(t *testing.T) {
-	for _, name := range []string{"nodeterm", "maporder", "errdrop", "lockcall", "directive"} {
+	for _, name := range []string{"nodeterm", "maporder", "errdrop", "lockcall", "rawfs", "directive"} {
 		t.Run(name, func(t *testing.T) {
 			root, err := filepath.Abs(filepath.Join("testdata", "src", name))
 			if err != nil {

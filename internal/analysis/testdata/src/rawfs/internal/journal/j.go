@@ -1,0 +1,44 @@
+// Package journal is the rawfs fixture: direct os/ioutil filesystem calls
+// inside a durable-storage package path, non-filesystem os negatives, and
+// the suppression escape. Positives are written in error-handled form so
+// errdrop stays quiet except where a want says otherwise.
+package journal
+
+import (
+	"io/ioutil"
+	"os"
+)
+
+func WriteState(path string, data []byte) error {
+	return os.WriteFile(path, data, 0o644) // want rawfs "os.WriteFile"
+}
+
+func OpenSegment(path string) (*os.File, error) {
+	return os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644) // want rawfs "os.OpenFile"
+}
+
+// DropAndFlag composes with errdrop: a bare fs call is both a seam bypass
+// and a swallowed error.
+func DropAndFlag(path string) {
+	os.Remove(path) // want rawfs "os.Remove" // want errdrop "os.Remove"
+}
+
+func Legacy(path string) ([]byte, error) {
+	return ioutil.ReadFile(path) // want rawfs "ioutil.ReadFile"
+}
+
+// NotFS: process-scoped os calls are outside rawfs.
+func NotFS() (int, string) {
+	return os.Getpid(), os.Getenv("HOME")
+}
+
+// ConstantsAndVars: os names that are not calls never fire.
+func ConstantsAndVars(err error) bool {
+	_ = os.O_RDWR
+	return err == os.ErrNotExist
+}
+
+func Suppressed(path string) error {
+	//cstlint:allow rawfs(fixture demonstrates suppression)
+	return os.Rename(path, path+".bak")
+}

@@ -1,0 +1,13 @@
+// Package other sits outside rawfs jurisdiction (not journal/store/campaign):
+// the very calls flagged next door are fine here.
+package other
+
+import "os"
+
+func Fine(path string) error {
+	return os.Remove(path)
+}
+
+func AlsoFine(path string) ([]byte, error) {
+	return os.ReadFile(path)
+}

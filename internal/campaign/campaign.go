@@ -4,10 +4,12 @@ import (
 	"context"
 	"path/filepath"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/engine"
 	"repro/internal/harness"
 	"repro/internal/sim"
+	"repro/internal/vfs"
 )
 
 // Campaign is one tuning campaign owned by the registry: a durable spec, a
@@ -22,6 +24,11 @@ type Campaign struct {
 
 	dir string
 	lc  *Lifecycle
+	// fs is the registry's filesystem seam; dirSyncErrs points at the
+	// registry-wide directory-fsync failure counter every atomic persist
+	// feeds.
+	fs          vfs.FS
+	dirSyncErrs *atomic.Int64
 
 	mu        sync.Mutex
 	cancel    context.CancelFunc // non-nil while a runner owns the campaign
@@ -46,15 +53,17 @@ func (c *Campaign) persistState() error {
 	c.mu.Lock()
 	settled := c.settledS
 	c.mu.Unlock()
-	return writeJSONAtomic(c.statePath(), persistedState{
+	return writeJSONAtomic(c.fs, c.statePath(), persistedState{
 		State:       c.lc.State(),
 		SettledS:    settled,
 		Transitions: c.lc.History(),
-	})
+	}, c.dirSyncErrs)
 }
 
 // persistSpec writes spec.json atomically.
-func (c *Campaign) persistSpec() error { return writeJSONAtomic(c.specPath(), c.Spec) }
+func (c *Campaign) persistSpec() error {
+	return writeJSONAtomic(c.fs, c.specPath(), c.Spec, c.dirSyncErrs)
+}
 
 // persistedResult is the result.json payload: the canonical string the
 // resume acceptance criteria compare byte-for-byte, alongside the full
@@ -66,13 +75,13 @@ type persistedResult struct {
 
 // persistResult writes result.json atomically.
 func (c *Campaign) persistResult(res *harness.CampaignResult) error {
-	return writeJSONAtomic(c.resultPath(), persistedResult{Canonical: res.Canonical(), Result: res})
+	return writeJSONAtomic(c.fs, c.resultPath(), persistedResult{Canonical: res.Canonical(), Result: res}, c.dirSyncErrs)
 }
 
 // loadResult restores a completed campaign's result from result.json.
 func (c *Campaign) loadResult() error {
 	var pr persistedResult
-	if err := readJSON(c.resultPath(), &pr); err != nil {
+	if err := readJSON(c.fs, c.resultPath(), &pr); err != nil {
 		return err
 	}
 	c.mu.Lock()
@@ -93,6 +102,7 @@ func (c *Campaign) config(wrap func(sim.Objective) sim.Objective) harness.Campai
 		Quarantine:      c.Spec.Quarantine,
 		CheckpointEvery: c.Spec.CheckpointEvery,
 		JournalPath:     c.journalPath(),
+		FS:              c.fs,
 	}
 	if wrap != nil {
 		cfg.Wrap = wrap

@@ -8,6 +8,7 @@ import (
 	"path/filepath"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/engine"
@@ -16,6 +17,7 @@ import (
 	"repro/internal/journal"
 	"repro/internal/stencil"
 	"repro/internal/store"
+	"repro/internal/vfs"
 )
 
 // Registry errors surfaced to the serving layer.
@@ -49,6 +51,10 @@ type Options struct {
 	// StoreDir overrides the store location (default <root>/store); implies
 	// EnableStore. Lets several registry roots share one store.
 	StoreDir string
+	// FS is the filesystem seam for every durable operation the registry,
+	// its campaigns' journals, and the shared store perform (nil = the real
+	// filesystem, vfs.OS). Chaos tests inject a vfs.FaultFS here.
+	FS vfs.FS
 }
 
 // Registry owns every campaign under one root directory: one subdirectory
@@ -59,12 +65,20 @@ type Options struct {
 // through the deterministic journal replay path, so the registry as a whole
 // survives kill -9 with no lost work beyond unaccounted episodes.
 type Registry struct {
-	root    string
-	clock   engine.Clock
-	sched   *Scheduler
-	ledgers *Ledgers
-	opts    Options
-	store   *store.Store // shared result store; nil when disabled
+	root     string
+	fs       vfs.FS
+	clock    engine.Clock
+	sched    *Scheduler
+	ledgers  *Ledgers
+	opts     Options
+	store    *store.Store // shared result store; nil when disabled
+	storeDir string       // the store's directory; scan must not load it as a campaign
+
+	// dirSyncErrs counts directory-fsync failures across the registry's own
+	// persistence (spec/state/result writes, quarantine renames) — durable
+	// data whose directory entry may not survive a power loss. Surfaced by
+	// Health.
+	dirSyncErrs atomic.Int64
 
 	baseCtx    context.Context
 	baseCancel context.CancelFunc
@@ -96,7 +110,8 @@ type fixtureEntry struct {
 // campaign directories, reconstructs ledgers, and — unless autostart is
 // disabled — resumes interrupted campaigns.
 func Open(dir string, opts Options) (*Registry, error) {
-	if err := os.MkdirAll(dir, 0o755); err != nil {
+	fsys := vfs.Or(opts.FS)
+	if err := fsys.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("campaign: open registry: %w", err)
 	}
 	clock := opts.Clock
@@ -110,6 +125,7 @@ func Open(dir string, opts Options) (*Registry, error) {
 	ctx, cancel := context.WithCancel(context.Background())
 	r := &Registry{
 		root:       dir,
+		fs:         fsys,
 		clock:      clock,
 		sched:      NewScheduler(slots),
 		ledgers:    NewLedgers(opts.TenantBudgetS),
@@ -124,12 +140,13 @@ func Open(dir string, opts Options) (*Registry, error) {
 		if sdir == "" {
 			sdir = filepath.Join(dir, "store")
 		}
-		st, err := store.Open(sdir)
+		st, err := store.OpenFS(fsys, sdir)
 		if err != nil {
 			cancel()
 			return nil, err
 		}
 		r.store = st
+		r.storeDir = sdir
 	}
 	if err := r.scan(); err != nil {
 		cancel()
@@ -169,15 +186,23 @@ func (r *Registry) StoreStats() (store.Stats, bool) {
 // reason recorded — and the scan continues; one bad campaign never aborts
 // registry startup.
 func (r *Registry) scan() error {
-	entries, err := os.ReadDir(r.root)
+	entries, err := r.fs.ReadDir(r.root)
 	if err != nil {
 		return fmt.Errorf("campaign: scan: %w", err)
 	}
 	names := make([]string, 0, len(entries))
 	for _, e := range entries {
-		if e.IsDir() {
-			names = append(names, e.Name())
+		if !e.IsDir() {
+			continue
 		}
+		// The shared result store lives under the root too (default
+		// <root>/store); its directory is not a campaign. Skip the reserved
+		// name even when the store is disabled this run — a root that once
+		// ran with a store must not resurrect it as a failed campaign.
+		if e.Name() == "store" || (r.storeDir != "" && filepath.Join(r.root, e.Name()) == r.storeDir) {
+			continue
+		}
+		names = append(names, e.Name())
 	}
 	sort.Strings(names) // deterministic load order; ids sort as submission order
 	for _, name := range names {
@@ -208,16 +233,16 @@ func idSeq(id string) int {
 // quarantined into a Failed campaign rather than propagated: startup
 // hygiene demands the registry come up with every loadable campaign intact.
 func (r *Registry) load(id string) (*Campaign, error) {
-	c := &Campaign{ID: id, dir: filepath.Join(r.root, id)}
+	c := &Campaign{ID: id, dir: filepath.Join(r.root, id), fs: r.fs, dirSyncErrs: &r.dirSyncErrs}
 
-	if err := readJSON(c.specPath(), &c.Spec); err != nil {
+	if err := readJSON(r.fs, c.specPath(), &c.Spec); err != nil {
 		c.lc = NewLifecycle(r.clock)
 		r.failLoaded(c, fmt.Sprintf("unreadable spec.json: %v", err))
 		return c, nil
 	}
 
 	var ps persistedState
-	switch err := readJSON(c.statePath(), &ps); {
+	switch err := readJSON(r.fs, c.statePath(), &ps); {
 	case err == nil:
 		lc, lerr := RestoreLifecycle(r.clock, ps.State, ps.Transitions)
 		if lerr != nil {
@@ -242,8 +267,8 @@ func (r *Registry) load(id string) (*Campaign, error) {
 	// differently-configured campaign) quarantine this one campaign; torn
 	// tails are not errors — journal.Open truncates and recovers them.
 	if !c.lc.State().Terminal() {
-		if _, statErr := os.Stat(c.journalPath()); statErr == nil {
-			jr, jerr := journal.Open(c.journalPath(), c.Spec.Fingerprint)
+		if _, statErr := r.fs.Stat(c.journalPath()); statErr == nil {
+			jr, jerr := journal.OpenFS(r.fs, c.journalPath(), c.Spec.Fingerprint)
 			switch {
 			case jerr == nil:
 				_ = jr.Close() // validation-only open; nothing was written
@@ -293,12 +318,69 @@ func (r *Registry) failLoaded(c *Campaign, reason string) {
 // post-mortem. The registry keeps serving every other campaign.
 func (r *Registry) quarantineJournal(c *Campaign, cause error) {
 	bad := c.journalPath() + ".bad"
-	if err := os.Rename(c.journalPath(), bad); err != nil {
+	if err := r.fs.Rename(c.journalPath(), bad); err != nil {
 		r.failLoaded(c, fmt.Sprintf("journal quarantine failed: %v (original error: %v)", err, cause))
 		return
 	}
-	syncDir(bad)
+	r.syncDir(bad)
 	r.failLoaded(c, fmt.Sprintf("journal quarantined to %s: %v", filepath.Base(bad), cause))
+}
+
+// syncDir fsyncs path's directory so a rename or create is durable.
+// Best-effort — the data already hit its file — but counted, never silent.
+func (r *Registry) syncDir(path string) {
+	if err := vfs.SyncDirOf(r.fs, path); err != nil {
+		r.dirSyncErrs.Add(1)
+	}
+}
+
+// DirSyncErrs returns the count of directory-fsync failures across the
+// registry's persistence operations.
+func (r *Registry) DirSyncErrs() int64 { return r.dirSyncErrs.Load() }
+
+// Health is the registry's per-subsystem health snapshot — the body behind
+// the service's /v1/healthz.
+type Health struct {
+	// Campaigns counts registered campaigns; ByState breaks them down.
+	Campaigns int           `json:"campaigns"`
+	ByState   map[State]int `json:"by_state,omitempty"`
+	// Store is the shared result store's mode: "ok", "degraded" (sticky
+	// write failure — hits keep serving and misses keep measuring, but new
+	// results stop persisting) or "disabled".
+	Store         string `json:"store"`
+	StoreWriteErr string `json:"store_write_err,omitempty"`
+	StorePutDrops int    `json:"store_put_drops,omitempty"`
+	// DirSyncErrs counts directory-fsync failures across registry
+	// persistence (spec/state/result writes, quarantine renames).
+	DirSyncErrs int64 `json:"dir_sync_errs,omitempty"`
+	// Degraded is true when any durable subsystem is below full fidelity.
+	// The daemon keeps serving either way — that is the point.
+	Degraded bool `json:"degraded"`
+}
+
+// Health snapshots per-subsystem health. The registry stays up through
+// storage trouble: a degraded store or a failed campaign never takes the
+// process down, and this snapshot is how operators find out.
+func (r *Registry) Health() Health {
+	h := Health{Store: "disabled", ByState: map[State]int{}}
+	r.mu.Lock()
+	h.Campaigns = len(r.campaigns)
+	for _, c := range r.campaigns {
+		h.ByState[c.lc.State()]++ // pure counting: map order cannot leak
+	}
+	r.mu.Unlock()
+	if r.store != nil {
+		st := r.store.Stats()
+		h.Store = "ok"
+		if st.WriteErr != "" {
+			h.Store = "degraded"
+			h.StoreWriteErr = st.WriteErr
+		}
+		h.StorePutDrops = st.PutDrops
+	}
+	h.DirSyncErrs = r.dirSyncErrs.Load()
+	h.Degraded = h.Store == "degraded" || h.DirSyncErrs > 0
+	return h
 }
 
 // fixture returns the (cached) fixture for a spec. Fixtures are immutable
@@ -348,16 +430,19 @@ func (r *Registry) Submit(spec Spec) (*Campaign, error) {
 	}
 	r.seq++
 	id := fmt.Sprintf("c%06d", r.seq)
-	c := &Campaign{ID: id, Spec: spec, dir: filepath.Join(r.root, id), lc: NewLifecycle(r.clock)}
+	c := &Campaign{
+		ID: id, Spec: spec, dir: filepath.Join(r.root, id),
+		lc: NewLifecycle(r.clock), fs: r.fs, dirSyncErrs: &r.dirSyncErrs,
+	}
 	r.campaigns[id] = c
 	r.order = append(r.order, id)
 	r.mu.Unlock()
 
-	if err := os.MkdirAll(c.dir, 0o755); err != nil {
+	if err := r.fs.MkdirAll(c.dir, 0o755); err != nil {
 		r.evict(c)
 		return nil, fmt.Errorf("campaign: mkdir: %w", err)
 	}
-	syncDir(filepath.Join(c.dir, "spec.json")) // durably record the new directory in the root
+	r.syncDir(filepath.Join(c.dir, "spec.json")) // durably record the new directory in the root
 	if err := c.persistSpec(); err != nil {
 		r.evict(c)
 		return nil, err

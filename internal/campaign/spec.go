@@ -6,10 +6,12 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"sync/atomic"
 
 	"repro/internal/gpu"
 	"repro/internal/harness"
 	"repro/internal/stencil"
+	"repro/internal/vfs"
 )
 
 // Spec is the durable description of one campaign: everything needed to run
@@ -106,57 +108,56 @@ type persistedState struct {
 
 // writeFileAtomic writes data to path via the temp-file + rename + dir-sync
 // dance, so a kill -9 at any instant leaves either the old intact file or
-// the new intact file, never a torn hybrid.
-func writeFileAtomic(path string, data []byte) error {
+// the new intact file, never a torn hybrid. A directory-fsync failure after
+// the rename does not fail the write (the bytes are durable in the file);
+// it bumps dirSyncErrs (when non-nil) so the degradation is visible instead
+// of silently dropped.
+func writeFileAtomic(fsys vfs.FS, path string, data []byte, dirSyncErrs *atomic.Int64) error {
+	fsys = vfs.Or(fsys) // nil-tolerant: hand-built campaigns default to the real fs
 	tmp := path + ".tmp"
-	f, err := os.OpenFile(tmp, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
+	f, err := fsys.OpenFile(tmp, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
 	if err != nil {
 		return fmt.Errorf("campaign: write %s: %w", filepath.Base(path), err)
 	}
 	if _, err := f.Write(data); err != nil {
 		_ = f.Close()
-		_ = os.Remove(tmp)
+		// Leftover-tmp cleanup is best-effort everywhere in this helper: the
+		// next atomic write reopens it with O_TRUNC, and loads never read
+		// *.tmp names.
+		_ = fsys.Remove(tmp)
 		return fmt.Errorf("campaign: write %s: %w", filepath.Base(path), err)
 	}
 	if err := f.Sync(); err != nil {
 		_ = f.Close()
-		_ = os.Remove(tmp)
+		_ = fsys.Remove(tmp)
 		return fmt.Errorf("campaign: sync %s: %w", filepath.Base(path), err)
 	}
 	if err := f.Close(); err != nil {
-		_ = os.Remove(tmp)
+		_ = fsys.Remove(tmp)
 		return fmt.Errorf("campaign: close %s: %w", filepath.Base(path), err)
 	}
-	if err := os.Rename(tmp, path); err != nil {
-		_ = os.Remove(tmp)
+	if err := fsys.Rename(tmp, path); err != nil {
+		_ = fsys.Remove(tmp)
 		return fmt.Errorf("campaign: rename %s: %w", filepath.Base(path), err)
 	}
-	syncDir(path)
+	if err := vfs.SyncDirOf(fsys, path); err != nil && dirSyncErrs != nil {
+		dirSyncErrs.Add(1)
+	}
 	return nil
 }
 
-// syncDir fsyncs path's directory so a rename is durable; best-effort.
-func syncDir(path string) {
-	d, err := os.Open(filepath.Dir(path))
-	if err != nil {
-		return
-	}
-	_ = d.Sync()
-	_ = d.Close()
-}
-
 // writeJSONAtomic marshals v and writes it atomically to path.
-func writeJSONAtomic(path string, v any) error {
+func writeJSONAtomic(fsys vfs.FS, path string, v any, dirSyncErrs *atomic.Int64) error {
 	data, err := json.MarshalIndent(v, "", "  ")
 	if err != nil {
 		return fmt.Errorf("campaign: marshal %s: %w", filepath.Base(path), err)
 	}
-	return writeFileAtomic(path, append(data, '\n'))
+	return writeFileAtomic(fsys, path, append(data, '\n'), dirSyncErrs)
 }
 
 // readJSON reads and unmarshals path into v.
-func readJSON(path string, v any) error {
-	data, err := os.ReadFile(path)
+func readJSON(fsys vfs.FS, path string, v any) error {
+	data, err := vfs.Or(fsys).ReadFile(path)
 	if err != nil {
 		return err
 	}

@@ -147,3 +147,35 @@ func TestSpecValidateWarmFields(t *testing.T) {
 		t.Fatal("submitted warm_keys accepted")
 	}
 }
+
+// TestScanSkipsStoreDir: the shared store's directory lives under the
+// registry root, and the restart scan must not mistake it for a campaign —
+// with the store enabled, and on a later restart of the same root with the
+// store disabled (the directory is still there; it must not come back as a
+// phantom failed campaign).
+func TestScanSkipsStoreDir(t *testing.T) {
+	dir := t.TempDir()
+	reg := openTestRegistry(t, dir, Options{Slots: 2, EnableStore: true})
+	c, err := reg.Submit(testSpec("acme", 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitState(t, reg, c.ID, StateCompleted)
+	if err := reg.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	for _, enable := range []bool{true, false} {
+		reg2 := openTestRegistry(t, dir, Options{Slots: 2, EnableStore: enable, DisableAutostart: true})
+		h := reg2.Health()
+		if h.Campaigns != 1 || h.ByState[StateFailed] != 0 {
+			t.Fatalf("EnableStore=%v: store dir loaded as a campaign: %+v", enable, h)
+		}
+		if _, err := reg2.Get("store"); err == nil {
+			t.Fatalf("EnableStore=%v: registry serves the store dir as campaign %q", enable, "store")
+		}
+		if err := reg2.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}

@@ -106,6 +106,16 @@ type Stats struct {
 	// WarmStartSeeds counts prior-best settings injected into this run's
 	// search from the store (sampling set + GA initial population).
 	WarmStartSeeds int
+	// DirSyncErrs counts the journal's directory-fsync failures: appends
+	// and checkpoints durable in the file whose directory entry may not
+	// survive a power loss. Environment weather, not run semantics — it is
+	// excluded from the campaign canonical string (a run on a flaky disk
+	// still computes the same result).
+	DirSyncErrs int
+	// StorePutDrops counts publishes to a degraded (read-only) result
+	// store: the in-memory index took them, but nothing persisted.
+	// Environment weather like DirSyncErrs, excluded from canonical.
+	StorePutDrops int
 	// SpentS is the virtual seconds consumed so far.
 	SpentS float64
 }
@@ -191,6 +201,7 @@ type Engine struct {
 	storeHits   atomic.Int64
 	storeMisses atomic.Int64
 	warmSeeds   atomic.Int64
+	storeDrops  atomic.Int64
 
 	mu        sync.Mutex
 	permFails map[string]int
@@ -409,6 +420,13 @@ func (e *Engine) statsLocked() Stats {
 	st.StoreHits = int(e.storeHits.Load())
 	st.StoreMisses = int(e.storeMisses.Load())
 	st.WarmStartSeeds = int(e.warmSeeds.Load())
+	st.StorePutDrops = int(e.storeDrops.Load())
+	if e.jr != nil {
+		// Degradation weather from the journal: counted there (the append
+		// path owns the failures), folded here so one Stats snapshot carries
+		// the whole per-run degradation picture.
+		st.DirSyncErrs = int(e.jr.DirSyncErrs())
+	}
 	return st
 }
 

@@ -30,6 +30,11 @@ type resultStore interface {
 	GetBytes(key []byte) (float64, bool)
 	// Put publishes a successful measurement under a composite key.
 	Put(key string, ms float64)
+	// Degraded reports whether the store has fallen back to read-only mode
+	// (a sticky write failure): Puts still feed its in-memory index, but
+	// nothing persists. The engine counts publishes made in that state
+	// (Stats.StorePutDrops) so operators can see the durability gap grow.
+	Degraded() bool
 }
 
 // ResultStore is the store surface the engine consumes; *store.Store
@@ -105,6 +110,11 @@ func (e *Engine) storePublishLocked(key string, ms float64) {
 	// lock order is e.mu → store shard lock, and nothing acquires them in
 	// the other order.
 	e.store.Put(e.storeKey(key), ms)
+	if e.store.Degraded() {
+		// Read-only-degraded store: the index took the record (this run and
+		// its neighbors keep their hits), but nothing reached disk.
+		e.storeDrops.Add(1)
+	}
 }
 
 // AddWarmStartSeeds records that n prior-best settings from the store were

@@ -17,6 +17,7 @@ import (
 	"repro/internal/sim"
 	"repro/internal/space"
 	"repro/internal/store"
+	"repro/internal/vfs"
 )
 
 // CampaignConfig describes one resumable tuning campaign: a method racing a
@@ -49,6 +50,13 @@ type CampaignConfig struct {
 	// CheckpointEvery overrides the journal's compaction period in episodes
 	// (0 = journal default; negative disables checkpoints).
 	CheckpointEvery int
+	// FS is the filesystem seam the journal performs every disk operation
+	// through (nil = the real filesystem, vfs.OS). It sits alongside the
+	// engine's Clock as an injectable environment edge: chaos tests plug a
+	// vfs.FaultFS in to sweep disk faults across the campaign. FS never
+	// enters the fingerprint — where the bytes land is environment, not
+	// campaign identity.
+	FS vfs.FS
 	// Faults, when non-nil, wraps the simulator in the seeded fault
 	// injector — the adversarial testbed the kill-matrix tests run under.
 	Faults *faults.Config
@@ -100,7 +108,13 @@ type CampaignResult struct {
 func (r *CampaignResult) Canonical() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "best=%v bestms=%.12g found=%v\n", r.Best, r.BestMS, r.Found)
-	fmt.Fprintf(&b, "stats=%+v\n", r.Stats)
+	// Degradation counters are disk weather, not run semantics: a campaign
+	// that rode out fsync trouble still computed the same result, and the
+	// fault-point walker's byte-identical-resume invariant depends on that.
+	// Zero them in a copy before rendering.
+	st := r.Stats
+	st.DirSyncErrs, st.StorePutDrops = 0, 0
+	fmt.Fprintf(&b, "stats=%+v\n", st)
 	fmt.Fprintf(&b, "quarantine=%v\n", r.Quarantine)
 	for i, p := range r.Trajectory {
 		fmt.Fprintf(&b, "traj[%d]=%.12g,%d,%.12g\n", i, p.CostS, p.Evals, p.BestMS)
@@ -206,7 +220,7 @@ func PrepareCampaign(fx *Fixture, cfg CampaignConfig) (*CampaignRun, error) {
 	}
 	var jr *journal.Journal
 	if cfg.JournalPath != "" {
-		jr, err = journal.OpenOrCreate(cfg.JournalPath, CampaignFingerprint(fx, cfg))
+		jr, err = journal.OpenOrCreateFS(vfs.Or(cfg.FS), cfg.JournalPath, CampaignFingerprint(fx, cfg))
 		if err != nil {
 			return nil, err
 		}

@@ -1,0 +1,171 @@
+package harness
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/journal"
+	"repro/internal/vfs"
+)
+
+// chaosConfig is the walker's campaign: small enough that the full fs-op
+// enumeration stays walkable, checkpointing aggressively so compaction's
+// temp-file + rename dance sits inside the swept window.
+func chaosConfig() CampaignConfig {
+	return CampaignConfig{
+		Method:          "cstuner",
+		BudgetS:         8,
+		Seed:            5,
+		CheckpointEvery: 3,
+	}
+}
+
+// runOnFS runs one journaled chaos campaign through fsys (nil = the real
+// filesystem) at path.
+func runOnFS(fx *Fixture, fsys vfs.FS, path string, workers int) (*CampaignResult, error) {
+	cfg := chaosConfig()
+	cfg.Workers = workers
+	cfg.JournalPath = path
+	cfg.FS = fsys
+	return RunCampaign(context.Background(), fx, cfg)
+}
+
+// recoverAndCheck is the walker invariant: after a faulted run, re-running
+// on the real filesystem must either resume to the byte-identical golden
+// canonical, or fail with a clean journal.ErrCorrupt — in which case
+// quarantining the journal and starting fresh must reach the golden result.
+// Anything else (a panic, a non-corruption error, a diverging result) is a
+// poisoned recovery path.
+func recoverAndCheck(t *testing.T, fx *Fixture, path string, workers int, want, ctx string) {
+	t.Helper()
+	res, err := runOnFS(fx, nil, path, workers)
+	if err != nil {
+		if !errors.Is(err, journal.ErrCorrupt) {
+			t.Fatalf("%s: recovery failed uncleanly: %v", ctx, err)
+		}
+		// Clean quarantine: drop the untrusted journal, start over.
+		_ = os.Remove(path)
+		_ = os.Remove(path + ".tmp")
+		res, err = runOnFS(fx, nil, path, workers)
+		if err != nil {
+			t.Fatalf("%s: fresh run after quarantine failed: %v", ctx, err)
+		}
+	}
+	if got := res.Canonical(); got != want {
+		t.Fatalf("%s: recovered result diverged\n got: %s\nwant: %s", ctx, got, want)
+	}
+}
+
+// chaosFlavors are the disk-failure classes the walker injects, cycled
+// across fault points so every op index is hit by one of them.
+var chaosFlavors = []struct {
+	name  string
+	fault vfs.Fault
+}{
+	{"eio", vfs.Fault{Err: vfs.EIO()}},
+	{"enospc", vfs.Fault{Err: vfs.ENoSpace()}},
+	// Short fires only when the swept index lands on a write: half the
+	// payload reaches the file before the error — the torn-frame case the
+	// journal's CRC framing exists to survive.
+	{"short", vfs.Fault{Op: vfs.OpWrite, Err: vfs.EIO(), Short: true}},
+}
+
+// TestCampaignFaultPointWalker enumerates every filesystem operation a
+// journaled campaign performs, re-runs the campaign with a single injected
+// fault at each operation in turn, and asserts the recovery invariant at
+// every swept point: the journal left behind resumes byte-identically, or
+// quarantines cleanly and a fresh run matches golden. Swept at worker
+// counts 1, 4 and 16 — journal traffic is accounting-ordered, so the op
+// enumeration is deterministic at any worker count.
+func TestCampaignFaultPointWalker(t *testing.T) {
+	fx := resumeFixture(t)
+
+	counter := vfs.NewFaultFS(vfs.OS, 0)
+	golden, err := runOnFS(fx, counter, filepath.Join(t.TempDir(), "golden.wal"), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := golden.Canonical()
+	n := counter.Ops()
+	if n < 20 {
+		t.Fatalf("campaign performed only %d fs ops; nothing to walk", n)
+	}
+	t.Logf("walking %d fault points", n)
+
+	var injectedTotal int64
+	for _, wk := range []struct{ workers, stride int }{{1, 1}, {4, 3}, {16, 7}} {
+		stride := wk.stride
+		if testing.Short() {
+			stride *= 5
+		}
+		for i := int64(0); i < n; i += int64(stride) {
+			fl := chaosFlavors[int(i)%len(chaosFlavors)]
+			f := fl.fault
+			f.AtIndex = i
+			ff := vfs.NewFaultFS(vfs.OS, 0, f)
+			path := filepath.Join(t.TempDir(), "walk.wal")
+			ctx := fmt.Sprintf("workers=%d op=%d fault=%s", wk.workers, i, fl.name)
+
+			res, err := runOnFS(fx, ff, path, wk.workers)
+			if err == nil {
+				// The fault was tolerated (dir-fsync, best-effort cleanup):
+				// the run itself must still be semantically golden.
+				if got := res.Canonical(); got != want {
+					t.Fatalf("%s: tolerated fault changed the result\n got: %s\nwant: %s", ctx, got, want)
+				}
+			}
+			injectedTotal += ff.Injected()
+			recoverAndCheck(t, fx, path, wk.workers, want, ctx)
+		}
+	}
+	if injectedTotal == 0 {
+		t.Fatal("walker injected nothing; the sweep proved nothing")
+	}
+}
+
+// TestCampaignPowerLossSweep cuts the power at every fs op index: all
+// buffered-but-unsynced bytes vanish (torn in half at keep=0.5 points), the
+// run dies, and the machine "restarts" — a clean-FS re-run on the same
+// journal must reach the byte-identical golden result or quarantine cleanly.
+func TestCampaignPowerLossSweep(t *testing.T) {
+	fx := resumeFixture(t)
+
+	counter := vfs.NewFaultFS(vfs.OS, 0)
+	golden, err := runOnFS(fx, counter, filepath.Join(t.TempDir(), "golden.wal"), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := golden.Canonical()
+	n := counter.Ops()
+
+	stride := int64(2)
+	if testing.Short() {
+		stride = 9
+	}
+	keeps := []float64{0, 0.5} // clean cut at the last fsync; torn in-flight frame
+	for i := int64(0); i < n; i += stride {
+		keep := keeps[int(i/stride)%len(keeps)]
+		ff := vfs.NewFaultFS(vfs.OS, 0)
+		ff.CutAt(i, keep)
+		path := filepath.Join(t.TempDir(), "cut.wal")
+		ctx := fmt.Sprintf("cut=%d keep=%g", i, keep)
+
+		res, err := runOnFS(fx, ff, path, 1)
+		if err == nil {
+			// Power lost after the last semantically-relevant op (e.g. at the
+			// final close): the completed run must still be golden.
+			if got := res.Canonical(); got != want {
+				t.Fatalf("%s: run outlived the cut with a different result", ctx)
+			}
+		} else if !errors.Is(err, vfs.ErrPowerCut) && !errors.Is(err, vfs.ErrInjected) {
+			// The cut may surface wrapped in journal errors; anything that is
+			// not rooted in the injected outage is a real bug.
+			t.Fatalf("%s: run failed outside the power-cut model: %v", ctx, err)
+		}
+		recoverAndCheck(t, fx, path, 1, want, ctx)
+	}
+}

@@ -1,0 +1,149 @@
+package journal
+
+import (
+	"fmt"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"repro/internal/vfs"
+)
+
+// chaosEpisodes is the fixed history every checkpoint-sweep journal carries.
+func chaosEpisodes(k int) []Episode {
+	eps := make([]Episode, k)
+	for i := range eps {
+		eps[i] = Episode{
+			Key: fmt.Sprintf("setting-%02d", i), Class: ClassOK,
+			MS: float64(i) + 0.5, MSSum: float64(i) + 0.5,
+			Attempts: 1, Calls: 1, CostS: 1,
+		}
+	}
+	return eps
+}
+
+// buildChaosJournal creates a journal on fsys and appends the fixed history.
+func buildChaosJournal(t *testing.T, fsys vfs.FS, path string, eps []Episode) *Journal {
+	t.Helper()
+	j, err := CreateFS(fsys, path, "chaos-fp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, ep := range eps {
+		if err := j.Append(ep); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return j
+}
+
+// TestCheckpointFaultSweep proves checkpoint compaction's temp-file + rename
+// replacement is atomic under every single-op disk fault: EIO, ENOSPC and a
+// short write injected at each filesystem operation of the compaction in
+// turn. Whatever the fault, reopening the journal must recover the complete
+// episode history — either from the old multi-frame log (checkpoint never
+// landed) or from the new compacted file (checkpoint fully landed), never a
+// hybrid — and a failed checkpoint must leave the journal appendable.
+func TestCheckpointFaultSweep(t *testing.T) {
+	eps := chaosEpisodes(7)
+	sum := Summary{Evaluations: len(eps)}
+
+	// Enumeration pass: count the ops one checkpoint costs. The workload is
+	// deterministic, so the same indices address the same ops in every run.
+	counter := vfs.NewFaultFS(vfs.OS, 0)
+	j := buildChaosJournal(t, counter, filepath.Join(t.TempDir(), "j.wal"), eps)
+	pre := counter.Ops()
+	if err := j.Checkpoint(sum); err != nil {
+		t.Fatal(err)
+	}
+	ckptOps := counter.Ops() - pre
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if ckptOps < 5 {
+		t.Fatalf("checkpoint cost only %d ops; the sweep would prove nothing", ckptOps)
+	}
+
+	flavors := []struct {
+		name  string
+		fault vfs.Fault
+	}{
+		{"eio", vfs.Fault{Err: vfs.EIO()}},
+		{"enospc", vfs.Fault{Err: vfs.ENoSpace()}},
+		{"short", vfs.Fault{Op: vfs.OpWrite, Err: vfs.EIO(), Short: true}},
+	}
+	extra := Episode{Key: "post-fault", Class: ClassOK, MS: 9, MSSum: 9, Attempts: 1, Calls: 1, CostS: 1}
+	for _, fl := range flavors {
+		for i := int64(0); i < ckptOps; i++ {
+			ctx := fmt.Sprintf("flavor=%s op=%d", fl.name, i)
+			f := fl.fault
+			f.AtIndex = pre + i
+			ff := vfs.NewFaultFS(vfs.OS, 0, f)
+			path := filepath.Join(t.TempDir(), "j.wal")
+			j := buildChaosJournal(t, ff, path, eps)
+
+			want := append([]Episode(nil), eps...)
+			cerr := j.Checkpoint(sum)
+			if cerr != nil {
+				// A failed compaction must not wedge the log: the old file is
+				// still authoritative and appendable.
+				if err := j.Append(extra); err != nil {
+					t.Fatalf("%s: append after failed checkpoint: %v", ctx, err)
+				}
+				want = append(want, extra)
+			}
+			_ = j.Close()
+
+			re, err := OpenFS(vfs.OS, path, "chaos-fp")
+			if err != nil {
+				t.Fatalf("%s: reopen after checkpoint fault (err=%v): %v", ctx, cerr, err)
+			}
+			if got := re.Recovered(); !reflect.DeepEqual(got, want) {
+				t.Fatalf("%s: recovered history diverged (checkpoint err=%v)\n got: %d episodes %+v\nwant: %d episodes",
+					ctx, cerr, len(got), got, len(want))
+			}
+			if err := re.Close(); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+}
+
+// TestCheckpointPowerCutSweep cuts the power at each op of a checkpoint
+// compaction: unsynced bytes are dropped (the in-flight temp file torn in
+// half) and every later op fails. The reopened journal must carry either the
+// full pre-checkpoint history or the full compacted one.
+func TestCheckpointPowerCutSweep(t *testing.T) {
+	eps := chaosEpisodes(5)
+	sum := Summary{Evaluations: len(eps)}
+
+	counter := vfs.NewFaultFS(vfs.OS, 0)
+	j := buildChaosJournal(t, counter, filepath.Join(t.TempDir(), "j.wal"), eps)
+	pre := counter.Ops()
+	if err := j.Checkpoint(sum); err != nil {
+		t.Fatal(err)
+	}
+	ckptOps := counter.Ops() - pre
+	_ = j.Close()
+
+	for _, keep := range []float64{0, 0.5} {
+		for i := int64(0); i <= ckptOps; i++ {
+			ctx := fmt.Sprintf("keep=%g cut=%d", keep, i)
+			ff := vfs.NewFaultFS(vfs.OS, 0)
+			path := filepath.Join(t.TempDir(), "j.wal")
+			j := buildChaosJournal(t, ff, path, eps)
+			ff.CutAt(pre+i, keep)
+			_ = j.Checkpoint(sum) // dies somewhere inside; the model decides where
+			_ = j.Close()
+
+			re, err := OpenFS(vfs.OS, path, "chaos-fp")
+			if err != nil {
+				t.Fatalf("%s: reopen after power cut: %v", ctx, err)
+			}
+			if got := re.Recovered(); !reflect.DeepEqual(got, eps) {
+				t.Fatalf("%s: recovered history diverged\n got: %d episodes\nwant: %d episodes", ctx, len(got), len(eps))
+			}
+			_ = re.Close()
+		}
+	}
+}

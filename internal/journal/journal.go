@@ -39,8 +39,10 @@ import (
 	"hash/crc32"
 	"io"
 	"os"
-	"path/filepath"
 	"sync"
+	"sync/atomic"
+
+	"repro/internal/vfs"
 )
 
 const (
@@ -184,14 +186,23 @@ var castagnoli = crc32.MakeTable(crc32.Castagnoli)
 // record order matches accounting order.
 type Journal struct {
 	mu        sync.Mutex
+	fs        vfs.FS
 	path      string
-	f         *os.File
+	f         vfs.File
 	hdr       Header
 	history   []Episode // full campaign history: recovered + appended
 	recovered int       // len(history) at Open time
 	sinceCkpt int
 	ckptEvery int
 	closed    bool
+
+	// dirSyncErrs counts directory-fsync failures (create and checkpoint
+	// rename). These were once silently dropped; they are now counted so
+	// the engine can surface them as a degradation signal — the data is
+	// still durable in the file, but the *name* may not survive a power
+	// loss. Atomic so the engine can fold it into Stats without nesting
+	// locks with j.mu.
+	dirSyncErrs atomic.Int64
 
 	// OnDurable, when set, is called (outside locks held by callers, but
 	// under the journal's own) after every durable write — an append's
@@ -203,11 +214,17 @@ type Journal struct {
 
 // Create starts a fresh journal at path, failing if the file exists.
 func Create(path, fingerprint string) (*Journal, error) {
-	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE|os.O_EXCL, 0o644)
+	return CreateFS(vfs.OS, path, fingerprint)
+}
+
+// CreateFS is Create through an explicit filesystem seam.
+func CreateFS(fsys vfs.FS, path, fingerprint string) (*Journal, error) {
+	f, err := fsys.OpenFile(path, os.O_RDWR|os.O_CREATE|os.O_EXCL, 0o644)
 	if err != nil {
 		return nil, fmt.Errorf("journal: create: %w", err)
 	}
 	j := &Journal{
+		fs:        fsys,
 		path:      path,
 		f:         f,
 		hdr:       Header{Magic: Magic, Version: Version, Fingerprint: fingerprint},
@@ -215,14 +232,16 @@ func Create(path, fingerprint string) (*Journal, error) {
 	}
 	if err := j.writeFrame(record{T: "hdr", Hdr: &j.hdr}); err != nil {
 		_ = f.Close()
-		_ = os.Remove(path)
+		// Best-effort cleanup of the half-created file; if it survives,
+		// OpenOrCreate treats a zero-length journal as never-created.
+		_ = fsys.Remove(path)
 		return nil, err
 	}
 	if err := f.Sync(); err != nil {
 		_ = f.Close()
 		return nil, fmt.Errorf("journal: sync: %w", err)
 	}
-	syncDir(path)
+	j.syncDir()
 	return j, nil
 }
 
@@ -232,7 +251,12 @@ func Create(path, fingerprint string) (*Journal, error) {
 // history, truncates any torn tail back to the last intact frame, and
 // positions the file for further appends.
 func Open(path, fingerprint string) (*Journal, error) {
-	f, err := os.OpenFile(path, os.O_RDWR, 0o644)
+	return OpenFS(vfs.OS, path, fingerprint)
+}
+
+// OpenFS is Open through an explicit filesystem seam.
+func OpenFS(fsys vfs.FS, path, fingerprint string) (*Journal, error) {
+	f, err := fsys.OpenFile(path, os.O_RDWR, 0o644)
 	if err != nil {
 		return nil, fmt.Errorf("journal: open: %w", err)
 	}
@@ -313,6 +337,7 @@ func Open(path, fingerprint string) (*Journal, error) {
 		return nil, fmt.Errorf("journal: seek: %w", err)
 	}
 	return &Journal{
+		fs:        fsys,
 		path:      path,
 		f:         f,
 		hdr:       hdr,
@@ -326,12 +351,26 @@ func Open(path, fingerprint string) (*Journal, error) {
 // fresh one otherwise — the ergonomic entry point for "just re-run the
 // same command after a crash" campaigns.
 func OpenOrCreate(path, fingerprint string) (*Journal, error) {
-	if _, err := os.Stat(path); err == nil {
-		return Open(path, fingerprint)
+	return OpenOrCreateFS(vfs.OS, path, fingerprint)
+}
+
+// OpenOrCreateFS is OpenOrCreate through an explicit filesystem seam. A
+// zero-length existing file is the artifact of a crash between create and
+// the header fsync — zero durable frames — so it is removed and recreated
+// rather than rejected as corrupt.
+func OpenOrCreateFS(fsys vfs.FS, path, fingerprint string) (*Journal, error) {
+	if fi, err := fsys.Stat(path); err == nil {
+		if fi.Size() == 0 {
+			if err := fsys.Remove(path); err != nil {
+				return nil, fmt.Errorf("journal: remove empty journal: %w", err)
+			}
+			return CreateFS(fsys, path, fingerprint)
+		}
+		return OpenFS(fsys, path, fingerprint)
 	} else if !errors.Is(err, os.ErrNotExist) {
 		return nil, fmt.Errorf("journal: stat: %w", err)
 	}
-	return Create(path, fingerprint)
+	return CreateFS(fsys, path, fingerprint)
 }
 
 // readFrame decodes the frame starting at off and returns its payload and
@@ -437,33 +476,35 @@ func (j *Journal) Checkpoint(sum Summary) error {
 // the new intact file, never a hybrid.
 func (j *Journal) checkpointLocked(sum Summary) error {
 	tmpPath := j.path + ".tmp"
-	tmp, err := os.OpenFile(tmpPath, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
+	tmp, err := j.fs.OpenFile(tmpPath, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
 	if err != nil {
 		return fmt.Errorf("journal: checkpoint temp: %w", err)
 	}
-	nj := &Journal{path: tmpPath, f: tmp}
+	nj := &Journal{fs: j.fs, path: tmpPath, f: tmp}
 	cp := Checkpoint{Episodes: j.history, Summary: sum}
 	if err := nj.writeFrame(record{T: "hdr", Hdr: &j.hdr}); err != nil {
 		_ = tmp.Close()
-		_ = os.Remove(tmpPath)
+		// Leftover tmp cleanup is best-effort: the next checkpoint opens it
+		// with O_TRUNC, and recovery never reads *.tmp.
+		_ = j.fs.Remove(tmpPath)
 		return err
 	}
 	if err := nj.writeFrame(record{T: "ckpt", Ckpt: &cp}); err != nil {
 		_ = tmp.Close()
-		_ = os.Remove(tmpPath)
+		_ = j.fs.Remove(tmpPath)
 		return err
 	}
 	if err := tmp.Sync(); err != nil {
 		_ = tmp.Close()
-		_ = os.Remove(tmpPath)
+		_ = j.fs.Remove(tmpPath)
 		return fmt.Errorf("journal: checkpoint sync: %w", err)
 	}
-	if err := os.Rename(tmpPath, j.path); err != nil {
+	if err := j.fs.Rename(tmpPath, j.path); err != nil {
 		_ = tmp.Close()
-		_ = os.Remove(tmpPath)
+		_ = j.fs.Remove(tmpPath)
 		return fmt.Errorf("journal: checkpoint rename: %w", err)
 	}
-	syncDir(j.path)
+	j.syncDir()
 	_ = j.f.Close() // old pre-compaction handle; the rename made tmp authoritative
 	j.f = tmp
 	j.sinceCkpt = 0
@@ -508,13 +549,19 @@ func (j *Journal) Close() error {
 	return j.f.Close()
 }
 
-// syncDir fsyncs the directory containing path so a rename or create is
-// durable; best-effort (some filesystems refuse directory fsync).
-func syncDir(path string) {
-	d, err := os.Open(filepath.Dir(path))
-	if err != nil {
-		return
+// syncDir fsyncs the directory containing the journal so a rename or
+// create is durable. A failure does not abort the operation — the data
+// already hit the file — but it is no longer silently dropped: it is
+// counted in dirSyncErrs and surfaced through DirSyncErrs (and from there
+// the engine's Stats), because an unsynced directory entry is exactly the
+// kind of quiet durability erosion an operator should see.
+func (j *Journal) syncDir() {
+	if err := vfs.SyncDirOf(j.fs, j.path); err != nil {
+		j.dirSyncErrs.Add(1)
 	}
-	_ = d.Sync()
-	_ = d.Close()
 }
+
+// DirSyncErrs returns the number of directory-fsync failures so far —
+// appends and checkpoints that are durable in the file but whose directory
+// entry may not survive a power loss.
+func (j *Journal) DirSyncErrs() int64 { return j.dirSyncErrs.Load() }

@@ -8,6 +8,7 @@ import (
 	"net/http"
 
 	"repro/internal/campaign"
+	"repro/internal/vfs"
 )
 
 // Server serves the campaign registry over HTTP. It is a plain http.Handler
@@ -49,7 +50,8 @@ func writeJSON(w http.ResponseWriter, code int, v any) {
 
 // writeErr maps registry errors onto HTTP statuses: unknown campaign → 404,
 // illegal transition (double-cancel, resume-of-running, …) → 409, tenant
-// budget exhausted → 429, registry shutting down → 503, anything else → 400.
+// budget exhausted → 429, registry shutting down → 503, ENOSPC-class disk
+// exhaustion → 507 Insufficient Storage, anything else → 400.
 func writeErr(w http.ResponseWriter, err error) {
 	code := http.StatusBadRequest
 	switch {
@@ -61,6 +63,12 @@ func writeErr(w http.ResponseWriter, err error) {
 		code = http.StatusTooManyRequests
 	case errors.Is(err, campaign.ErrClosed):
 		code = http.StatusServiceUnavailable
+	case vfs.IsNoSpace(err):
+		// A full disk refused the campaign's durable admission (mkdir or
+		// spec/state persist). The honest status is 507: the request was
+		// well-formed, the storage was not there for it. Other tenants'
+		// campaigns keep running.
+		code = http.StatusInsufficientStorage
 	}
 	writeJSON(w, code, ErrorResponse{Error: err.Error()})
 }
@@ -141,6 +149,14 @@ func (s *Server) handleStore(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, http.StatusOK, StoreResponse{Enabled: enabled, Stats: stats})
 }
 
+// handleHealth reports per-subsystem health. Always 200 — the daemon
+// answering IS the liveness signal; degradation rides in the body so load
+// balancers keep routing while operators see the disk trouble.
 func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
-	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	h := s.reg.Health()
+	status := "ok"
+	if h.Degraded {
+		status = "degraded"
+	}
+	writeJSON(w, http.StatusOK, HealthResponse{Status: status, Detail: h})
 }

@@ -44,6 +44,16 @@ type StoreResponse struct {
 	Stats   store.Stats `json:"stats"`
 }
 
+// HealthResponse is the GET /v1/healthz body: overall status plus the
+// registry's per-subsystem health snapshot. Status is "ok" or "degraded";
+// a degraded daemon is still serving — degradation is an operator signal
+// (store gone read-only, directory fsyncs failing), never a reason to stop
+// answering.
+type HealthResponse struct {
+	Status string          `json:"status"`
+	Detail campaign.Health `json:"detail"`
+}
+
 // ErrorResponse is the uniform error body for every non-2xx status.
 type ErrorResponse struct {
 	Error string `json:"error"`

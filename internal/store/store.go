@@ -48,6 +48,8 @@ import (
 	"strings"
 	"sync"
 	"sync/atomic"
+
+	"repro/internal/vfs"
 )
 
 const (
@@ -223,16 +225,25 @@ type Stats struct {
 	// WriteErr is the sticky append failure, if any; the in-memory index
 	// keeps serving hits after a write failure.
 	WriteErr string `json:"write_err,omitempty"`
+	// PutDrops counts Puts whose record reached the in-memory index but was
+	// not persisted because the writer was already degraded (sticky
+	// WriteErr) — the size of the durability gap a degraded store accrues.
+	PutDrops int `json:"put_drops,omitempty"`
+	// DirSyncErrs counts directory-fsync failures after quarantine or
+	// compaction renames: the rename happened, but its directory entry may
+	// not survive a power loss.
+	DirSyncErrs int `json:"dir_sync_errs,omitempty"`
 }
 
 // Store is one shared result database. All methods are safe for concurrent
 // use; Get/GetBytes/Contains are lock-free on the hot path.
 type Store struct {
+	fs     vfs.FS
 	dir    string
 	shards [storeShards]shard
 
 	mu       sync.Mutex
-	f        *os.File
+	f        vfs.File
 	w        *bufio.Writer
 	segPath  string
 	pending  int
@@ -244,6 +255,8 @@ type Store struct {
 	segments    int
 	loaded      int
 	skipped     int
+	putDrops    int
+	dirSyncErrs int
 	quarantined []string
 }
 
@@ -252,16 +265,21 @@ type Store struct {
 // are quarantined to .bad. Open never fails on segment content — only on
 // filesystem errors for the directory itself.
 func Open(dir string) (*Store, error) {
-	if err := os.MkdirAll(dir, 0o755); err != nil {
+	return OpenFS(vfs.OS, dir)
+}
+
+// OpenFS is Open through an explicit filesystem seam.
+func OpenFS(fsys vfs.FS, dir string) (*Store, error) {
+	if err := fsys.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("store: open: %w", err)
 	}
-	s := &Store{dir: dir, ownMin: map[string]float64{}}
+	s := &Store{fs: fsys, dir: dir, ownMin: map[string]float64{}}
 	empty := &readMap{m: map[string]float64{}}
 	for i := range s.shards {
 		// Shards may share one empty snapshot: readMaps are immutable.
 		s.shards[i].read.Store(empty)
 	}
-	entries, err := os.ReadDir(dir)
+	entries, err := fsys.ReadDir(dir)
 	if err != nil {
 		return nil, fmt.Errorf("store: scan: %w", err)
 	}
@@ -280,7 +298,7 @@ func Open(dir string) (*Store, error) {
 // torn or corrupt tail ends the scan without truncating the file (it may be
 // a live writer's partially-flushed frame).
 func (s *Store) loadSegment(path string) {
-	data, err := os.ReadFile(path)
+	data, err := s.fs.ReadFile(path)
 	if err != nil {
 		s.quarantine(path, fmt.Sprintf("unreadable: %v", err))
 		return
@@ -323,12 +341,22 @@ func (s *Store) loadSegment(path string) {
 // re-quarantined on the next Open.
 func (s *Store) quarantine(path, reason string) {
 	bad := path + ".bad"
-	if err := os.Rename(path, bad); err != nil {
+	if err := s.fs.Rename(path, bad); err != nil {
 		s.quarantined = append(s.quarantined, fmt.Sprintf("%s (rename failed: %v; %s)", filepath.Base(path), err, reason))
 		return
 	}
-	syncDir(path)
+	s.syncDirLocked(path)
 	s.quarantined = append(s.quarantined, fmt.Sprintf("%s: %s", filepath.Base(bad), reason))
+}
+
+// syncDirLocked fsyncs path's directory so a rename is durable. Best-effort
+// — the renamed bytes are already in the file — but no longer silent: a
+// failure is counted in Stats.DirSyncErrs. Called from Open (before the
+// store is shared) and from Compact (under s.mu).
+func (s *Store) syncDirLocked(path string) {
+	if err := vfs.SyncDirOf(s.fs, path); err != nil {
+		s.dirSyncErrs++
+	}
 }
 
 func (s *Store) shardFor(key string) *shard {
@@ -364,7 +392,13 @@ func (s *Store) Put(key string, ms float64) {
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if s.closed || s.writeErr != nil {
+	if s.closed {
+		return
+	}
+	if s.writeErr != nil {
+		// Read-only-degraded: the index above already took the record (hits
+		// keep serving), but the durability gap grows — count it.
+		s.putDrops++
 		return
 	}
 	if old, ok := s.ownMin[key]; ok && old <= ms {
@@ -372,10 +406,12 @@ func (s *Store) Put(key string, ms float64) {
 	}
 	s.ownMin[key] = ms
 	if err := s.ensureWriterLocked(); err != nil {
+		s.putDrops++
 		return
 	}
 	if err := writeFrame(s.w, record{T: "rec", Rec: &Record{Key: key, MS: ms}}); err != nil {
 		s.writeErr = err
+		s.putDrops++
 		return
 	}
 	s.appended++
@@ -395,7 +431,7 @@ func (s *Store) ensureWriterLocked() error {
 	}
 	for n := 0; ; n++ {
 		path := filepath.Join(s.dir, fmt.Sprintf("seg-%d-%04d.seg", os.Getpid(), n))
-		f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_EXCL, 0o644)
+		f, err := s.fs.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_EXCL, 0o644)
 		if errors.Is(err, os.ErrExist) {
 			continue
 		}
@@ -409,7 +445,9 @@ func (s *Store) ensureWriterLocked() error {
 		}
 		if err != nil {
 			_ = f.Close()
-			_ = os.Remove(path)
+			// Best-effort: an empty or headerless leftover is skipped (or
+			// quarantined) by the next Open, never trusted.
+			_ = s.fs.Remove(path)
 			s.writeErr = fmt.Errorf("store: segment header: %w", err)
 			return s.writeErr
 		}
@@ -463,7 +501,7 @@ func (s *Store) Compact() error {
 	}
 	sort.Strings(keys) // deterministic segment bytes for a given history
 	tmpPath := s.segPath + ".tmp"
-	tmp, err := os.OpenFile(tmpPath, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	tmp, err := s.fs.OpenFile(tmpPath, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
 	if err != nil {
 		return fmt.Errorf("store: compact temp: %w", err)
 	}
@@ -483,15 +521,16 @@ func (s *Store) Compact() error {
 	}
 	if err != nil {
 		_ = tmp.Close()
-		_ = os.Remove(tmpPath)
+		// Best-effort; a leftover tmp is invisible to Open (no .seg suffix).
+		_ = s.fs.Remove(tmpPath)
 		return fmt.Errorf("store: compact write: %w", err)
 	}
-	if err := os.Rename(tmpPath, s.segPath); err != nil {
+	if err := s.fs.Rename(tmpPath, s.segPath); err != nil {
 		_ = tmp.Close()
-		_ = os.Remove(tmpPath)
+		_ = s.fs.Remove(tmpPath)
 		return fmt.Errorf("store: compact rename: %w", err)
 	}
-	syncDir(s.segPath)
+	s.syncDirLocked(s.segPath)
 	_ = s.f.Close() // old pre-compaction handle; the rename made tmp authoritative
 	s.f, s.w, s.pending = tmp, w, 0
 	return nil
@@ -519,6 +558,16 @@ func (s *Store) Close() error {
 // Dir returns the store's directory.
 func (s *Store) Dir() string { return s.dir }
 
+// Degraded reports whether the store has fallen back to read-only-degraded
+// mode: a sticky write failure stopped persistence, while the in-memory
+// index keeps serving hits and taking Put records. The engine counts
+// publishes dropped this way; the service reports the mode in healthz.
+func (s *Store) Degraded() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.writeErr != nil
+}
+
 // Stats snapshots the store's counters.
 func (s *Store) Stats() Stats {
 	s.mu.Lock()
@@ -527,6 +576,8 @@ func (s *Store) Stats() Stats {
 		LoadedRecords:   s.loaded,
 		AppendedRecords: s.appended,
 		SkippedRecords:  s.skipped,
+		PutDrops:        s.putDrops,
+		DirSyncErrs:     s.dirSyncErrs,
 		Quarantined:     append([]string(nil), s.quarantined...),
 	}
 	if s.writeErr != nil {
@@ -652,14 +703,4 @@ func keyHashBytes(key []byte) uint64 {
 		h *= 1099511628211
 	}
 	return h
-}
-
-// syncDir fsyncs path's directory so a rename is durable; best-effort.
-func syncDir(path string) {
-	d, err := os.Open(filepath.Dir(path))
-	if err != nil {
-		return
-	}
-	_ = d.Sync()
-	_ = d.Close()
 }
