@@ -1,11 +1,18 @@
 // Command cstlint runs the repo's static-analysis suite (internal/analysis)
 // over the module containing the working directory and prints findings as
-// "file:line: [analyzer] message". Exit status: 0 clean, 1 findings, 2 when
-// the tree fails to load or type-check.
+// "file:line: [analyzer] message". Exit status: 0 clean (or all findings
+// baselined), 1 new findings, 2 when the tree fails to load or type-check.
 //
 // Usage:
 //
-//	cstlint [./...]
+//	cstlint [flags] [./...]
+//
+// Flags:
+//
+//	-json                 emit findings as a JSON array instead of text
+//	-baseline file        suppress findings listed in file; fail only on new ones
+//	-write-baseline file  write the current findings to file in baseline format
+//	-workers n            bound the analysis worker pool (0 = auto)
 //
 // The package-pattern argument is accepted for familiarity but the suite
 // always lints the whole module: its invariants (determinism, accounting,
@@ -14,6 +21,7 @@ package main
 
 import (
 	"bufio"
+	"flag"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -23,38 +31,86 @@ import (
 )
 
 func main() {
-	if err := run(); err != nil {
+	code, err := run()
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "cstlint:", err)
 		os.Exit(2)
 	}
+	os.Exit(code)
 }
 
-func run() error {
+func run() (int, error) {
+	jsonOut := flag.Bool("json", false, "emit findings as a JSON array")
+	baselinePath := flag.String("baseline", "", "suppress findings listed in `file`; fail only on new ones")
+	writeBaseline := flag.String("write-baseline", "", "write current findings to `file` in baseline format and exit 0")
+	workers := flag.Int("workers", 0, "analysis worker pool size (0 = auto)")
+	flag.Parse()
+
 	wd, err := os.Getwd()
 	if err != nil {
-		return err
+		return 0, err
 	}
 	root, modPath, err := findModule(wd)
 	if err != nil {
-		return err
+		return 0, err
 	}
-	res, err := analysis.Run(analysis.Config{Root: root, ModulePath: modPath})
+	res, err := analysis.Run(analysis.Config{Root: root, ModulePath: modPath, Workers: *workers})
 	if err != nil {
-		return err
+		return 0, err
 	}
-	if len(res.Diags) == 0 {
-		return nil
+
+	// Baseline keys are root-relative so the committed file is portable
+	// across checkouts regardless of the invocation directory.
+	if *writeBaseline != "" {
+		var sb strings.Builder
+		sb.WriteString("# cstlint baseline: one accepted finding per line, matched without line numbers.\n")
+		for _, line := range res.BaselineLines(root) {
+			sb.WriteString(line)
+			sb.WriteByte('\n')
+		}
+		if err := os.WriteFile(*writeBaseline, []byte(sb.String()), 0o644); err != nil {
+			return 0, err
+		}
+		fmt.Fprintf(os.Stderr, "cstlint: wrote %d finding(s) to %s\n", len(res.Diags), *writeBaseline)
+		return 0, nil
 	}
+
+	suppressed := 0
+	if *baselinePath != "" {
+		base, err := analysis.LoadBaseline(*baselinePath)
+		if err != nil {
+			return 0, err
+		}
+		res, suppressed = res.ApplyBaseline(base, root)
+	}
+
 	w := bufio.NewWriter(os.Stdout)
-	for _, line := range res.Format(wd) {
-		fmt.Fprintln(w, line)
+	if *jsonOut {
+		data, err := res.FormatJSON(wd)
+		if err != nil {
+			return 0, err
+		}
+		w.Write(data)
+		w.WriteByte('\n')
+	} else {
+		for _, line := range res.Format(wd) {
+			fmt.Fprintln(w, line)
+		}
+		if len(res.Diags) > 0 {
+			fmt.Fprintf(w, "cstlint: %d finding(s)", len(res.Diags))
+			if suppressed > 0 {
+				fmt.Fprintf(w, " (%d baselined)", suppressed)
+			}
+			fmt.Fprintln(w)
+		}
 	}
-	fmt.Fprintf(w, "cstlint: %d finding(s)\n", len(res.Diags))
 	if err := w.Flush(); err != nil {
-		return err
+		return 0, err
 	}
-	os.Exit(1)
-	return nil
+	if len(res.Diags) > 0 {
+		return 1, nil
+	}
+	return 0, nil
 }
 
 // findModule walks upward from dir to the enclosing go.mod and returns the

@@ -17,13 +17,23 @@
 //     packages (internal/journal, internal/store, internal/campaign) —
 //     every disk touch goes through the internal/vfs seam so the chaos
 //     walker can inject faults at it;
-//   - directive: every //cstlint:allow annotation is well-formed, names a
-//     real analyzer, and still suppresses something.
+//   - goleak: every spawned goroutine is joined, watching a cancel signal,
+//     or handing its result to the spawner, and an in-scope context flows
+//     into context-aware callees instead of being dropped;
+//   - lockorder (whole-program): the static lock-acquisition graph is
+//     acyclic and consistent with declared //cstlint:lockorder orderings;
+//   - atomicmix (whole-program): fields accessed via sync/atomic anywhere
+//     are never read or written plainly elsewhere;
+//   - directive: every //cstlint:allow and //cstlint:lockorder annotation
+//     is well-formed, names a real analyzer, and still applies to something.
 //
 // The driver is pure stdlib (go/parser, go/ast, go/types, go/token): it
-// loads every package in the module from source, type-checks it, runs the
-// analyzer suite, applies allow directives, and reports findings as
-// "file:line: [analyzer] message".
+// loads every package in the module from source (parsing in parallel across
+// a bounded worker pool), type-checks it, runs the per-package suite on each
+// package concurrently and the whole-program suite over all of them, applies
+// allow directives, and reports findings as "file:line: [analyzer] message"
+// — byte-identically at any worker count. A committed baseline file can
+// subtract accepted findings (see baseline.go) so only new findings fail.
 package analysis
 
 import (
@@ -146,9 +156,47 @@ func hasMethod(t types.Type, name string) bool {
 	return obj != nil
 }
 
-// DefaultAnalyzers returns the full suite in reporting order. The directive
-// validator is not in the list: it runs inside the driver, after
+// GlobalAnalyzer is one whole-program check: unlike an Analyzer, which sees
+// one package at a time, its Run observes every loaded package at once and
+// can follow the cross-package call graph (lockorder's held-lock
+// propagation, atomicmix's atomic-field registry).
+type GlobalAnalyzer struct {
+	Name string
+	Doc  string
+	Run  func(*GlobalPass)
+}
+
+// GlobalPass is one whole-program analyzer execution over the full tree.
+type GlobalPass struct {
+	Analyzer *GlobalAnalyzer
+	// Pkgs is every loaded package, sorted by import path.
+	Pkgs []*Package
+	Fset *token.FileSet
+	// Orders is the declared lock-order set parsed from
+	// //cstlint:lockorder directives across the whole tree.
+	Orders []*OrderDecl
+
+	diags *[]Diagnostic
+}
+
+// Reportf records one finding at pos.
+func (p *GlobalPass) Reportf(pos token.Pos, format string, args ...any) {
+	*p.diags = append(*p.diags, Diagnostic{
+		Pos:      pos,
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// DefaultAnalyzers returns the per-package suite in reporting order. The
+// directive validator is not in the list: it runs inside the driver, after
 // suppression, because it must observe which allows were used.
 func DefaultAnalyzers() []*Analyzer {
-	return []*Analyzer{NoDeterm, MapOrder, ErrDrop, LockCall, RawFS}
+	return []*Analyzer{NoDeterm, MapOrder, ErrDrop, LockCall, RawFS, GoLeak}
+}
+
+// DefaultGlobalAnalyzers returns the whole-program suite run after the
+// per-package analyzers.
+func DefaultGlobalAnalyzers() []*GlobalAnalyzer {
+	return []*GlobalAnalyzer{LockOrder, AtomicMix}
 }

@@ -1,0 +1,120 @@
+package analysis
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"os"
+	"strings"
+)
+
+// This file is the baseline + JSON surface of the driver, the landing
+// mechanism for new analyzers: a committed baseline file suppresses known
+// findings so a stricter check can gate CI before the tree is fully clean,
+// while any finding *not* in the baseline still fails. Baseline entries are
+// line-number-free — "file: [analyzer] message" — so unrelated edits that
+// shift code do not churn the file; identical findings are counted, so a
+// baseline with N copies of one entry admits exactly N occurrences.
+
+// JSONDiagnostic is one finding in -json output.
+type JSONDiagnostic struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+}
+
+// FormatJSON renders the findings as an indented JSON array (empty
+// findings render as []), with file paths relative to base when possible.
+func (r *Result) FormatJSON(base string) ([]byte, error) {
+	out := make([]JSONDiagnostic, 0, len(r.Diags))
+	for _, d := range r.Diags {
+		p := r.Fset.Position(d.Pos)
+		out = append(out, JSONDiagnostic{
+			File:     relFile(p.Filename, base),
+			Line:     p.Line,
+			Analyzer: d.Analyzer,
+			Message:  d.Message,
+		})
+	}
+	return json.MarshalIndent(out, "", "  ")
+}
+
+// Baseline is a multiset of accepted findings.
+type Baseline struct {
+	counts map[string]int
+}
+
+// baselineKey is the line-number-free identity of one finding.
+func baselineKey(file, analyzer, message string) string {
+	return file + ": [" + analyzer + "] " + message
+}
+
+// ParseBaseline reads baseline content: one finding key per line, blank
+// lines and #-comments ignored.
+func ParseBaseline(data []byte) *Baseline {
+	b := &Baseline{counts: map[string]int{}}
+	sc := bufio.NewScanner(bytes.NewReader(data))
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		b.counts[line]++
+	}
+	return b
+}
+
+// LoadBaseline reads a baseline file from disk.
+func LoadBaseline(path string) (*Baseline, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return ParseBaseline(data), nil
+}
+
+// Len returns the number of baseline entries (counting duplicates).
+func (b *Baseline) Len() int {
+	n := 0
+	for _, c := range b.counts {
+		n += c
+	}
+	return n
+}
+
+// ApplyBaseline returns a Result holding only the findings not admitted by
+// the baseline, plus how many were suppressed. Findings are keyed with
+// paths relative to base — the same rendering BaselineLines writes — so a
+// baseline travels with the repo, not the machine.
+func (r *Result) ApplyBaseline(b *Baseline, base string) (*Result, int) {
+	remaining := map[string]int{}
+	for k, c := range b.counts {
+		remaining[k] = c
+	}
+	kept := make([]Diagnostic, 0, len(r.Diags))
+	suppressed := 0
+	for _, d := range r.Diags {
+		p := r.Fset.Position(d.Pos)
+		k := baselineKey(relFile(p.Filename, base), d.Analyzer, d.Message)
+		if remaining[k] > 0 {
+			remaining[k]--
+			suppressed++
+			continue
+		}
+		kept = append(kept, d)
+	}
+	return &Result{Fset: r.Fset, Diags: kept}, suppressed
+}
+
+// BaselineLines renders the findings in baseline format (one key per
+// occurrence, already position-sorted by Run).
+func (r *Result) BaselineLines(base string) []string {
+	out := make([]string, 0, len(r.Diags))
+	for _, d := range r.Diags {
+		p := r.Fset.Position(d.Pos)
+		out = append(out, baselineKey(relFile(p.Filename, base), d.Analyzer, d.Message))
+	}
+	return out
+}

@@ -11,6 +11,7 @@ import (
 	"path/filepath"
 	"sort"
 	"strings"
+	"sync"
 )
 
 // Package is one loaded, type-checked package.
@@ -43,6 +44,19 @@ type Loader struct {
 	std     types.Importer
 	pkgs    map[string]*Package
 	loading map[string]bool
+
+	// parsed caches per-directory parse results, filled concurrently by the
+	// pre-parse phase of LoadAll (token.FileSet is safe for concurrent
+	// AddFile) and read sequentially during type-checking. Parsing is the
+	// bulk of the loader's work, so this is where parallelism pays.
+	parsedMu sync.Mutex
+	parsed   map[string]parsedDir
+}
+
+// parsedDir is one directory's parse outcome.
+type parsedDir struct {
+	files []*ast.File
+	err   error
 }
 
 // NewLoader returns a loader over root; modulePath may be empty for bare
@@ -56,6 +70,7 @@ func NewLoader(root, modulePath string) *Loader {
 		std:        importer.ForCompiler(fset, "source", nil),
 		pkgs:       map[string]*Package{},
 		loading:    map[string]bool{},
+		parsed:     map[string]parsedDir{},
 	}
 }
 
@@ -69,8 +84,10 @@ func skipDir(name string) bool {
 }
 
 // LoadAll walks Root and loads every package directory (non-test .go files
-// present), returning packages sorted by import path.
-func (l *Loader) LoadAll() ([]*Package, error) {
+// present), returning packages sorted by import path. With workers > 1 the
+// tree's files are parsed concurrently before the (inherently sequential,
+// dependency-ordered) type-checking pass consumes them.
+func (l *Loader) LoadAll(workers int) ([]*Package, error) {
 	var paths []string
 	err := filepath.Walk(l.Root, func(path string, fi os.FileInfo, err error) error {
 		if err != nil {
@@ -96,6 +113,9 @@ func (l *Loader) LoadAll() ([]*Package, error) {
 		return nil, err
 	}
 	sort.Strings(paths)
+	if workers > 1 {
+		l.preparse(paths, workers)
+	}
 	out := make([]*Package, 0, len(paths))
 	for _, p := range paths {
 		pkg, err := l.Load(p)
@@ -105,6 +125,61 @@ func (l *Loader) LoadAll() ([]*Package, error) {
 		out = append(out, pkg)
 	}
 	return out, nil
+}
+
+// preparse parses every listed package's files across a bounded worker
+// pool, filling the parse cache Load consults. Parse errors are cached too
+// and surface from Load in the same deterministic (path-sorted) order the
+// sequential path reports them.
+func (l *Loader) preparse(paths []string, workers int) {
+	if workers > len(paths) {
+		workers = len(paths)
+	}
+	var wg sync.WaitGroup
+	ch := make(chan string)
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for p := range ch {
+				if dir := l.dirFor(p); dir != "" {
+					files, err := l.parseDir(dir)
+					l.parsedMu.Lock()
+					l.parsed[dir] = parsedDir{files: files, err: err}
+					l.parsedMu.Unlock()
+				}
+			}
+		}()
+	}
+	for _, p := range paths {
+		ch <- p
+	}
+	close(ch)
+	wg.Wait()
+}
+
+// parseDir parses a directory's non-test Go files in name order.
+func (l *Loader) parseDir(dir string) ([]*ast.File, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []*ast.File
+	for _, e := range ents {
+		n := e.Name()
+		if e.IsDir() || !strings.HasSuffix(n, ".go") || strings.HasSuffix(n, "_test.go") {
+			continue
+		}
+		f, err := parser.ParseFile(l.Fset, filepath.Join(dir, n), nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("analysis: no Go files in %s", dir)
+	}
+	return files, nil
 }
 
 // importPathFor maps a Root-relative directory to its import path.
@@ -176,25 +251,16 @@ func (l *Loader) Load(path string) (*Package, error) {
 	l.loading[path] = true
 	defer delete(l.loading, path)
 
-	ents, err := os.ReadDir(dir)
-	if err != nil {
-		return nil, err
+	l.parsedMu.Lock()
+	pd, cached := l.parsed[dir]
+	l.parsedMu.Unlock()
+	if !cached {
+		pd.files, pd.err = l.parseDir(dir)
 	}
-	var files []*ast.File
-	for _, e := range ents {
-		n := e.Name()
-		if e.IsDir() || !strings.HasSuffix(n, ".go") || strings.HasSuffix(n, "_test.go") {
-			continue
-		}
-		f, err := parser.ParseFile(l.Fset, filepath.Join(dir, n), nil, parser.ParseComments|parser.SkipObjectResolution)
-		if err != nil {
-			return nil, err
-		}
-		files = append(files, f)
+	if pd.err != nil {
+		return nil, pd.err
 	}
-	if len(files) == 0 {
-		return nil, fmt.Errorf("analysis: no Go files in %s", dir)
-	}
+	files := pd.files
 
 	info := &types.Info{
 		Types:      map[ast.Expr]types.TypeAndValue{},

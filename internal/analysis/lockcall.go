@@ -2,10 +2,7 @@ package analysis
 
 import (
 	"go/ast"
-	"go/token"
 	"go/types"
-	"sort"
-	"strings"
 )
 
 // LockCall flags objective measurements and user callbacks invoked while an
@@ -13,9 +10,12 @@ import (
 // benchmark; running one under a lock serializes every other worker behind a
 // GPU-length critical section, and invoking a user callback under a lock
 // invites deadlock the moment the callback re-enters the engine. Locked
-// regions are computed per function from sync.Mutex/RWMutex Lock/Unlock
-// pairs (including defer-Unlock), and functions following the repo's
-// *Locked naming convention are treated as locked over their whole body.
+// regions are computed per function from sync.Mutex/RWMutex events —
+// Lock/Unlock, RLock/RUnlock (paired independently of the write side), and
+// TryLock/TryRLock (assumed to succeed), including defer-Unlock — by the
+// shared interval machinery in lockutil.go, and functions following the
+// repo's *Locked naming convention are treated as locked over their whole
+// body.
 var LockCall = &Analyzer{
 	Name: "lockcall",
 	Doc:  "flags objective measurements and user callbacks made while a mutex is held",
@@ -33,24 +33,6 @@ func runLockCall(pass *Pass) {
 			runLockCallFunc(pass, info, fd)
 		}
 	}
-}
-
-// lockInterval is one source region during which the named mutex is held.
-type lockInterval struct {
-	from, to token.Pos
-	key      string // rendered mutex expression, e.g. "e.mu"
-}
-
-const (
-	evLock = iota
-	evUnlock
-	evDeferUnlock
-)
-
-type lockEvent struct {
-	pos  token.Pos
-	key  string
-	kind int
 }
 
 func runLockCallFunc(pass *Pass, info *types.Info, fd *ast.FuncDecl) {
@@ -83,86 +65,16 @@ func runLockCallFunc(pass *Pass, info *types.Info, fd *ast.FuncDecl) {
 }
 
 // lockedIntervals reconstructs the regions of fd's body during which a mutex
-// is held, from the position-ordered sequence of Lock/Unlock events. A
-// *Locked-suffixed function is one region spanning its whole body — the
-// repo's convention for "caller holds the lock".
+// is held. A *Locked-suffixed function is one region spanning its whole body
+// — the repo's convention for "caller holds the lock".
 func lockedIntervals(info *types.Info, fd *ast.FuncDecl) []lockInterval {
-	if strings.HasSuffix(fd.Name.Name, "Locked") {
+	if isLockedConvention(fd) {
 		return []lockInterval{{
 			from: fd.Body.Pos(), to: fd.Body.End(),
 			key: "the receiver's lock (the *Locked naming convention)",
 		}}
 	}
-	var events []lockEvent
-	ast.Inspect(fd.Body, func(n ast.Node) bool {
-		switch st := n.(type) {
-		case *ast.FuncLit:
-			return false
-		case *ast.DeferStmt:
-			if key, kind, ok := syncCall(info, st.Call); ok && kind == evUnlock {
-				events = append(events, lockEvent{pos: st.Pos(), key: key, kind: evDeferUnlock})
-			}
-			return false
-		case *ast.CallExpr:
-			if key, kind, ok := syncCall(info, st); ok {
-				events = append(events, lockEvent{pos: st.Pos(), key: key, kind: kind})
-			}
-		}
-		return true
-	})
-	sort.Slice(events, func(i, j int) bool { return events[i].pos < events[j].pos })
-
-	held := map[string][]token.Pos{}
-	var out []lockInterval
-	for _, ev := range events {
-		switch ev.kind {
-		case evLock:
-			held[ev.key] = append(held[ev.key], ev.pos)
-		case evUnlock, evDeferUnlock:
-			stack := held[ev.key]
-			if len(stack) == 0 {
-				continue // unlock of a lock taken by the caller; no interval here
-			}
-			from := stack[len(stack)-1]
-			held[ev.key] = stack[:len(stack)-1]
-			to := ev.pos
-			if ev.kind == evDeferUnlock {
-				to = fd.Body.End() // deferred unlock holds to function exit
-			}
-			out = append(out, lockInterval{from: from, to: to, key: ev.key})
-		}
-	}
-	keys := make([]string, 0, len(held))
-	for key := range held {
-		keys = append(keys, key)
-	}
-	sort.Strings(keys)
-	for _, key := range keys {
-		for _, from := range held[key] {
-			out = append(out, lockInterval{from: from, to: fd.Body.End(), key: key})
-		}
-	}
-	return out
-}
-
-// syncCall classifies a call as a sync.Mutex/RWMutex lock or unlock,
-// returning the rendered mutex expression as the interval key.
-func syncCall(info *types.Info, call *ast.CallExpr) (key string, kind int, ok bool) {
-	sel, isSel := ast.Unparen(call.Fun).(*ast.SelectorExpr)
-	if !isSel {
-		return "", 0, false
-	}
-	fn, isFn := info.Uses[sel.Sel].(*types.Func)
-	if !isFn || pkgPath(fn) != "sync" {
-		return "", 0, false
-	}
-	switch fn.Name() {
-	case "Lock", "RLock":
-		return types.ExprString(sel.X), evLock, true
-	case "Unlock", "RUnlock":
-		return types.ExprString(sel.X), evUnlock, true
-	}
-	return "", 0, false
+	return pairIntervals(collectLockEvents(info, fd.Body), fd.Body.End())
 }
 
 // paramObjects collects fd's parameter objects so calls through func-typed

@@ -4,8 +4,10 @@ import (
 	"fmt"
 	"go/token"
 	"path/filepath"
+	"runtime"
 	"sort"
 	"strings"
+	"sync"
 )
 
 // Config controls one driver run.
@@ -17,8 +19,16 @@ type Config struct {
 	// ResultAffecting overrides the scope predicate for nodeterm. Nil means
 	// the default: any package with an "internal" path segment.
 	ResultAffecting func(pkgPath string) bool
-	// Analyzers overrides the suite; nil means DefaultAnalyzers.
+	// Analyzers overrides the per-package suite; nil means DefaultAnalyzers.
 	Analyzers []*Analyzer
+	// Globals overrides the whole-program suite; nil means
+	// DefaultGlobalAnalyzers.
+	Globals []*GlobalAnalyzer
+	// Workers bounds the worker pool for file parsing and per-package
+	// analysis. 0 means GOMAXPROCS capped at 8; 1 forces sequential
+	// execution. Output is byte-identical at any worker count: diagnostics
+	// are gathered per package and position-sorted at the end.
+	Workers int
 }
 
 // Result is one driver run's output.
@@ -27,13 +37,18 @@ type Result struct {
 	Diags []Diagnostic
 }
 
-// Run loads every package under cfg.Root, runs the analyzer suite on each,
-// applies allow directives, validates the directives themselves, and returns
-// the position-sorted findings.
+// Run loads every package under cfg.Root, runs the per-package analyzer
+// suite on each (in parallel across Workers), runs the whole-program
+// analyzers, applies allow directives, validates the directives themselves,
+// and returns the position-sorted findings.
 func Run(cfg Config) (*Result, error) {
 	analyzers := cfg.Analyzers
 	if analyzers == nil {
 		analyzers = DefaultAnalyzers()
+	}
+	globals := cfg.Globals
+	if globals == nil {
+		globals = DefaultGlobalAnalyzers()
 	}
 	ra := cfg.ResultAffecting
 	if ra == nil {
@@ -41,19 +56,38 @@ func Run(cfg Config) (*Result, error) {
 			return strings.Contains("/"+pkgPath+"/", "/internal/")
 		}
 	}
+	workers := cfg.Workers
+	if workers < 1 {
+		workers = runtime.GOMAXPROCS(0)
+		if workers > 8 {
+			workers = 8
+		}
+	}
 	known := map[string]bool{}
 	for _, a := range analyzers {
 		known[a.Name] = true
 	}
+	for _, g := range globals {
+		known[g.Name] = true
+	}
 
 	l := NewLoader(cfg.Root, cfg.ModulePath)
-	pkgs, err := l.LoadAll()
+	pkgs, err := l.LoadAll(workers)
 	if err != nil {
 		return nil, err
 	}
 
-	var all []Diagnostic
-	for _, pkg := range pkgs {
+	// Per-package phase: each package's analysis is independent and
+	// read-only on the shared type information, so packages fan out across
+	// the pool. Results land in per-index slots — merge order (and the final
+	// position sort) make output independent of scheduling.
+	type pkgOut struct {
+		diags []Diagnostic
+		dirs  []*directive
+	}
+	outs := make([]pkgOut, len(pkgs))
+	runPkg := func(i int) {
+		pkg := pkgs[i]
 		var diags []Diagnostic
 		for _, a := range analyzers {
 			a.Run(&Pass{
@@ -64,11 +98,57 @@ func Run(cfg Config) (*Result, error) {
 				diags:           &diags,
 			})
 		}
-		dirs := parseDirectives(l.Fset, pkg.Files)
-		diags = applyDirectives(l.Fset, diags, dirs)
-		diags = append(diags, directiveFindings(dirs, known)...)
-		all = append(all, diags...)
+		outs[i] = pkgOut{diags: diags, dirs: parseDirectives(l.Fset, pkg.Files)}
 	}
+	if workers <= 1 || len(pkgs) <= 1 {
+		for i := range pkgs {
+			runPkg(i)
+		}
+	} else {
+		var wg sync.WaitGroup
+		idx := make(chan int)
+		n := workers
+		if n > len(pkgs) {
+			n = len(pkgs)
+		}
+		wg.Add(n)
+		for w := 0; w < n; w++ {
+			go func() {
+				defer wg.Done()
+				for i := range idx {
+					runPkg(i)
+				}
+			}()
+		}
+		for i := range pkgs {
+			idx <- i
+		}
+		close(idx)
+		wg.Wait()
+	}
+
+	var all []Diagnostic
+	var dirs []*directive
+	for i := range outs {
+		all = append(all, outs[i].diags...)
+		dirs = append(dirs, outs[i].dirs...)
+	}
+
+	// Whole-program phase: sequential — the global analyzers see every
+	// package at once and are cheap relative to loading.
+	orders := orderDecls(dirs)
+	for _, g := range globals {
+		g.Run(&GlobalPass{
+			Analyzer: g,
+			Pkgs:     pkgs,
+			Fset:     l.Fset,
+			Orders:   orders,
+			diags:    &all,
+		})
+	}
+
+	all = applyDirectives(l.Fset, all, dirs)
+	all = append(all, directiveFindings(dirs, known)...)
 
 	sort.Slice(all, func(i, j int) bool {
 		pi, pj := l.Fset.Position(all[i].Pos), l.Fset.Position(all[j].Pos)
@@ -86,19 +166,23 @@ func Run(cfg Config) (*Result, error) {
 	return &Result{Fset: l.Fset, Diags: all}, nil
 }
 
+// relFile renders a finding's file path relative to base when possible.
+func relFile(file, base string) string {
+	if base != "" {
+		if rel, err := filepath.Rel(base, file); err == nil && !strings.HasPrefix(rel, "..") {
+			file = rel
+		}
+	}
+	return filepath.ToSlash(file)
+}
+
 // Format renders the findings as "file:line: [analyzer] message" lines, with
 // file paths relative to base when possible.
 func (r *Result) Format(base string) []string {
 	out := make([]string, 0, len(r.Diags))
 	for _, d := range r.Diags {
 		p := r.Fset.Position(d.Pos)
-		file := p.Filename
-		if base != "" {
-			if rel, err := filepath.Rel(base, file); err == nil && !strings.HasPrefix(rel, "..") {
-				file = rel
-			}
-		}
-		out = append(out, fmt.Sprintf("%s:%d: [%s] %s", filepath.ToSlash(file), p.Line, d.Analyzer, d.Message))
+		out = append(out, fmt.Sprintf("%s:%d: [%s] %s", relFile(p.Filename, base), p.Line, d.Analyzer, d.Message))
 	}
 	return out
 }

@@ -23,7 +23,7 @@ func DeferDrop(f *os.File) {
 }
 
 func GoDrop() {
-	go helper() // want errdrop "goroutine"
+	go helper() // want errdrop "goroutine" // want goleak "outlive its owner"
 }
 
 // ExplicitDiscard is the sanctioned opt-out: visible and greppable.

@@ -1,0 +1,96 @@
+// Package gl is the goleak fixture: goroutines with and without a join or
+// cancellation path, and context-accepting functions that do or do not pass
+// their context along.
+package gl
+
+import (
+	"context"
+	"sync"
+)
+
+// leak spawns a goroutine nothing can stop or wait for.
+func leak() {
+	go func() { // want goleak "goroutine is neither joined"
+		work()
+	}()
+}
+
+// leakNamed hands the callee nothing it could govern its lifetime with.
+func leakNamed() {
+	go work() // want goleak "no context, channel or WaitGroup handed to it"
+}
+
+func work() {}
+
+// joined is governed: the goroutine calls wg.Done.
+func joined() {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		work()
+	}()
+	wg.Wait()
+}
+
+// watcher is governed: the goroutine selects on ctx.Done.
+func watcher(ctx context.Context) {
+	go func() {
+		select {
+		case <-ctx.Done():
+		}
+	}()
+}
+
+// handoff is governed: the spawner receives the goroutine's send.
+func handoff() error {
+	errc := make(chan error, 1)
+	go func() {
+		errc <- run()
+	}()
+	return <-errc
+}
+
+func run() error { return nil }
+
+// governedNamed hands the callee a stop channel.
+func governedNamed(stop chan struct{}) {
+	go pump(stop)
+}
+
+func pump(stop chan struct{}) {
+	<-stop
+}
+
+// suppressed is a deliberate fire-and-forget with an allow.
+func suppressed() {
+	go work() //cstlint:allow goleak(fixture: fire-and-forget under test)
+}
+
+// dropCtx ignores its context although a Ctx sibling exists.
+func dropCtx(ctx context.Context, s *store) {
+	s.Flush() // want goleak "drops the in-scope context"
+}
+
+// backgroundCtx calls a Ctx-suffixed callee with a fresh background context.
+func backgroundCtx(ctx context.Context, s *store) {
+	s.FlushCtx(context.Background()) // want goleak "called with context.Background/TODO although a context parameter is in scope"
+}
+
+// propagates passes the in-scope context: no finding.
+func propagates(ctx context.Context, s *store) {
+	s.FlushCtx(ctx)
+}
+
+// derived passes a context derived from the parameter: no finding.
+func derived(ctx context.Context, s *store) {
+	c, cancel := context.WithCancel(ctx)
+	defer cancel()
+	s.FlushCtx(c)
+}
+
+type store struct{}
+
+func (s *store) Flush() {}
+
+func (s *store) FlushCtx(ctx context.Context) {}

@@ -70,3 +70,33 @@ func (e *engine) Suppressed(k int) {
 	//cstlint:allow lockcall(fixture demonstrates suppression)
 	e.callback(k)
 }
+
+type store struct {
+	rw sync.RWMutex
+	o  obj
+}
+
+// TryLockHeld measures inside a TryLock success branch: the analyzer
+// assumes the acquisition succeeds, so this is a locked region.
+func (s *store) TryLockHeld(k int) {
+	if s.rw.TryLock() {
+		defer s.rw.Unlock()
+		_, _ = s.o.Measure(k) // want lockcall "objective s.o.Measure"
+	}
+}
+
+// ReadHeld measures under the read side; the interval is keyed separately
+// from the write side.
+func (s *store) ReadHeld(k int) {
+	s.rw.RLock()
+	defer s.rw.RUnlock()
+	_, _ = s.o.Measure(k) // want lockcall "while s.rw (read) is held"
+}
+
+// ReadReleased pairs RLock with RUnlock correctly: a write-side Unlock must
+// not close a read interval, and the measurement runs lock-free.
+func (s *store) ReadReleased(k int) {
+	s.rw.RLock()
+	s.rw.RUnlock()
+	_, _ = s.o.Measure(k)
+}

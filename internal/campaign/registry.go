@@ -28,6 +28,12 @@ var (
 	ErrClosed = errors.New("campaign: registry closed")
 )
 
+// The registry lock always nests outside any individual campaign's lock:
+// registry methods look a campaign up under Registry.mu and then take
+// Campaign.mu; campaign methods never reach back into the registry.
+//
+//cstlint:lockorder registry.mu < campaign.mu
+
 // Options configures a registry.
 type Options struct {
 	// Clock is the wall-clock source for lifecycle stamps (nil = real time).

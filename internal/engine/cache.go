@@ -33,6 +33,12 @@ import (
 // runs byte-identical at any worker count; the cache only memoizes outcomes
 // those sequential decisions already produced.
 
+// The engine's accounting mutex always nests outside the shard locks:
+// storePublishLocked and friends write through to shards while holding
+// Engine.mu, and no shard method ever calls back into the engine.
+//
+//cstlint:lockorder engine.mu < cacheShard.mu
+
 // cacheShards is the stripe count. 64 shards keep shard-lock contention
 // negligible at the engine's worker-count ceiling while the per-shard maps
 // stay large enough to amortize promotion copies.
